@@ -1,0 +1,55 @@
+//! Ablation — reconstruction-attempt ordering (DESIGN.md §7).
+//!
+//! §III-B tries the MAC chip first, then data chips 0..7. This ablation
+//! measures the average MAC recomputations per corrected read as a
+//! function of which chip actually failed, quantifying what the ordering
+//! buys (and what fault tracking saves on top).
+
+use synergy_bench::{banner, print_table, write_csv};
+use synergy_core::memory::{SynergyMemory, SynergyMemoryConfig};
+use synergy_crypto::CacheLine;
+
+fn measure(chip: usize, tracking: bool) -> f64 {
+    let mut mem = SynergyMemory::new(SynergyMemoryConfig {
+        fault_tracking_threshold: if tracking { Some(4) } else { None },
+        ..SynergyMemoryConfig::with_capacity(1 << 16)
+    })
+    .expect("config valid");
+    let lines = 64u64;
+    for i in 0..lines {
+        mem.write_line(i * 64, &CacheLine::from_bytes([i as u8; 64])).expect("write");
+    }
+    let mut total = 0u64;
+    for i in 0..lines {
+        mem.inject_chip_error(i * 64, chip);
+        let out = mem.read_line(i * 64).expect("correctable");
+        assert!(out.corrected);
+        total += out.mac_computations as u64;
+    }
+    total as f64 / lines as f64
+}
+
+fn main() {
+    banner("Ablation — reconstruction order and fault tracking", "§III-B / §IV-A");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for chip in 0..9 {
+        let plain = measure(chip, false);
+        let tracked = measure(chip, true);
+        let label = if chip == 8 { "8 (MAC/ECC chip)".to_string() } else { chip.to_string() };
+        rows.push(vec![label, format!("{plain:.1}"), format!("{tracked:.1}")]);
+        csv.push(format!("{chip},{plain:.2},{tracked:.2}"));
+    }
+    print_table(
+        &["failed chip", "avg MACs/read (no tracking)", "avg MACs/read (tracking)"],
+        &rows,
+    );
+
+    println!(
+        "\nThe MAC-chip-first order makes an ECC-chip failure the cheapest case;\n\
+         data chips cost ~2 extra attempts each in order. Fault tracking\n\
+         collapses all cases to the clean-read cost (§IV-A)."
+    );
+    write_csv("ablation_reconstruction", "chip,macs_no_tracking,macs_tracking", &csv);
+}

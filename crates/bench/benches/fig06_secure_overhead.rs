@@ -1,0 +1,48 @@
+//! Figure 6 — the cost of secure execution: SGX, SGX_O and Non-Secure IPC,
+//! all normalized to SGX_O.
+//!
+//! Paper: Non-Secure is 112% faster than SGX_O; SGX is 30% slower.
+
+use synergy_bench::*;
+use synergy_secure::DesignConfig;
+
+fn main() {
+    banner("Figure 6 — performance of SGX, SGX_O and Non-Secure", "Figure 6");
+    let workloads = perf_workloads();
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut ns_all = Vec::new();
+    let mut sgx_all = Vec::new();
+    for w in &workloads {
+        let base = run_workload(DesignConfig::sgx_o(), w, 2);
+        let ns = run_workload(DesignConfig::non_secure(), w, 2);
+        let sgx = run_workload(DesignConfig::sgx(), w, 2);
+        let ns_rel = ns.ipc / base.ipc;
+        let sgx_rel = sgx.ipc / base.ipc;
+        ns_all.push(ns_rel);
+        sgx_all.push(sgx_rel);
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{sgx_rel:.2}"),
+            "1.00".to_string(),
+            format!("{ns_rel:.2}"),
+        ]);
+        csv.push(format!("{},{sgx_rel:.4},1.0,{ns_rel:.4}", w.name));
+    }
+    rows.push(vec![
+        "GMEAN".into(),
+        format!("{:.2}", gmean(&sgx_all)),
+        "1.00".into(),
+        format!("{:.2}", gmean(&ns_all)),
+    ]);
+    print_table(&["workload", "SGX", "SGX_O", "Non-Secure"], &rows);
+
+    println!("\npaper:    SGX ≈ 0.70x, Non-Secure ≈ 2.12x (memory-intensive gmean)");
+    println!(
+        "measured: SGX ≈ {:.2}x, Non-Secure ≈ {:.2}x",
+        gmean(&sgx_all),
+        gmean(&ns_all)
+    );
+    write_csv("fig06_secure_overhead", "workload,sgx,sgx_o,non_secure", &csv);
+}

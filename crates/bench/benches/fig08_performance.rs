@@ -1,0 +1,94 @@
+//! Figure 8 — IPC of SGX, SGX_O and Synergy across all workloads,
+//! normalized to SGX_O.
+//!
+//! Paper: Synergy improves secure-execution performance by 20% (gmean)
+//! over SGX_O; SGX is 30% below SGX_O; the `*-web` graph workloads are the
+//! exception where SGX_O trails SGX (counters thrash the LLC).
+//!
+//! Run with `SYNERGY_BENCH_WORKLOADS=all` for all 29 workloads + 6 mixes.
+
+use synergy_bench::*;
+use synergy_secure::DesignConfig;
+use synergy_trace::{presets, Suite};
+
+fn main() {
+    banner("Figure 8 — performance of SGX, SGX_O, Synergy", "Figure 8");
+    let workloads = perf_workloads();
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut by_suite: std::collections::HashMap<Suite, (Vec<f64>, Vec<f64>)> =
+        std::collections::HashMap::new();
+    let mut sgx_all = Vec::new();
+    let mut syn_all = Vec::new();
+
+    for w in &workloads {
+        let base = run_workload(DesignConfig::sgx_o(), w, 2);
+        let sgx = run_workload(DesignConfig::sgx(), w, 2);
+        let syn = run_workload(DesignConfig::synergy(), w, 2);
+        let sgx_rel = sgx.ipc / base.ipc;
+        let syn_rel = syn.ipc / base.ipc;
+        sgx_all.push(sgx_rel);
+        syn_all.push(syn_rel);
+        let entry = by_suite.entry(w.suite).or_default();
+        entry.0.push(sgx_rel);
+        entry.1.push(syn_rel);
+        rows.push(vec![
+            w.name.to_string(),
+            w.suite.to_string(),
+            format!("{sgx_rel:.2}"),
+            "1.00".into(),
+            format!("{syn_rel:.2}"),
+        ]);
+        csv.push(format!("{},{},{sgx_rel:.4},1.0,{syn_rel:.4}", w.name, w.suite));
+    }
+
+    if full_sweep() {
+        for mix in presets::mixes() {
+            let base = run_mix(DesignConfig::sgx_o(), &mix, 2);
+            let sgx = run_mix(DesignConfig::sgx(), &mix, 2);
+            let syn = run_mix(DesignConfig::synergy(), &mix, 2);
+            let sgx_rel = sgx.ipc / base.ipc;
+            let syn_rel = syn.ipc / base.ipc;
+            sgx_all.push(sgx_rel);
+            syn_all.push(syn_rel);
+            let entry = by_suite.entry(Suite::Mix).or_default();
+            entry.0.push(sgx_rel);
+            entry.1.push(syn_rel);
+            rows.push(vec![
+                mix.name.to_string(),
+                "MIX".into(),
+                format!("{sgx_rel:.2}"),
+                "1.00".into(),
+                format!("{syn_rel:.2}"),
+            ]);
+            csv.push(format!("{},MIX,{sgx_rel:.4},1.0,{syn_rel:.4}", mix.name));
+        }
+    }
+
+    for (suite, (sgx_v, syn_v)) in &by_suite {
+        rows.push(vec![
+            format!("GMEAN {suite}"),
+            suite.to_string(),
+            format!("{:.2}", gmean(sgx_v)),
+            "1.00".into(),
+            format!("{:.2}", gmean(syn_v)),
+        ]);
+    }
+    rows.push(vec![
+        "GMEAN all".into(),
+        "-".into(),
+        format!("{:.2}", gmean(&sgx_all)),
+        "1.00".into(),
+        format!("{:.2}", gmean(&syn_all)),
+    ]);
+
+    print_table(&["workload", "suite", "SGX", "SGX_O", "Synergy"], &rows);
+    println!("\npaper:    Synergy ≈ 1.20x, SGX ≈ 0.70x (gmean)");
+    println!(
+        "measured: Synergy ≈ {:.2}x, SGX ≈ {:.2}x",
+        gmean(&syn_all),
+        gmean(&sgx_all)
+    );
+    write_csv("fig08_performance", "workload,suite,sgx,sgx_o,synergy", &csv);
+}

@@ -1,0 +1,57 @@
+//! Figure 10 — power, performance, energy and EDP of SGX, SGX_O and
+//! Synergy, normalized to SGX_O.
+//!
+//! Paper: power is similar across designs; Synergy reduces system EDP by
+//! 31%; SGX's extra accesses raise its energy while its longer execution
+//! keeps power flat.
+
+use synergy_bench::*;
+use synergy_secure::DesignConfig;
+
+fn main() {
+    banner("Figure 10 — power / performance / energy / EDP", "Figure 10");
+    let workloads = perf_workloads();
+    let designs = [DesignConfig::sgx(), DesignConfig::sgx_o(), DesignConfig::synergy()];
+
+    // Per design: geometric means of per-workload ratios vs SGX_O.
+    let mut power = vec![Vec::new(); 3];
+    let mut perf = vec![Vec::new(); 3];
+    let mut energy = vec![Vec::new(); 3];
+    let mut edp = vec![Vec::new(); 3];
+
+    for w in &workloads {
+        let base = run_workload(DesignConfig::sgx_o(), w, 2);
+        for (i, d) in designs.iter().enumerate() {
+            let r = if d.name == "SGX_O" { base.clone() } else { run_workload(d.clone(), w, 2) };
+            power[i].push(r.power_w() / base.power_w());
+            perf[i].push(r.ipc / base.ipc);
+            energy[i].push(r.total_energy_j() / base.total_energy_j());
+            edp[i].push(r.edp() / base.edp());
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (i, d) in designs.iter().enumerate() {
+        rows.push(vec![
+            d.name.to_string(),
+            format!("{:.2}", gmean(&power[i])),
+            format!("{:.2}", gmean(&perf[i])),
+            format!("{:.2}", gmean(&energy[i])),
+            format!("{:.2}", gmean(&edp[i])),
+        ]);
+        csv.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.4}",
+            d.name,
+            gmean(&power[i]),
+            gmean(&perf[i]),
+            gmean(&energy[i]),
+            gmean(&edp[i])
+        ));
+    }
+    print_table(&["design", "power", "performance", "energy", "EDP"], &rows);
+
+    println!("\npaper:    Synergy EDP ≈ 0.69x (−31%), power ≈ 1.0x across designs");
+    println!("measured: Synergy EDP ≈ {:.2}x", gmean(&edp[2]));
+    write_csv("fig10_energy", "design,power,performance,energy,edp", &csv);
+}

@@ -1,0 +1,79 @@
+//! Figure 11 — probability of system failure over 7 years for SECDED,
+//! Chipkill and Synergy (plus No-ECC and IVEC for §VII context).
+//!
+//! Paper: Chipkill reduces failure probability 37x vs SECDED; Synergy
+//! 185x vs SECDED (5x vs Chipkill). IVEC provides ~50x (its own paper).
+//!
+//! Scale with `SYNERGY_BENCH_DEVICES` (default 50 M; paper: 1 B devices).
+
+use synergy_bench::{banner, bench_devices, print_table, write_csv};
+use synergy_faultsim::{simulate, EccPolicy, FaultModel, SimParams};
+
+fn main() {
+    banner("Figure 11 — probability of system failure (7 years)", "Figure 11");
+    let model = FaultModel::sridharan();
+    let params = SimParams { devices: bench_devices(), ..Default::default() };
+    println!("devices: {} (Monte Carlo, conditioned sampling)\n", params.devices);
+
+    let policies = [
+        EccPolicy::None,
+        EccPolicy::Secded,
+        EccPolicy::Chipkill,
+        EccPolicy::Ivec,
+        EccPolicy::Synergy,
+    ];
+    let results: Vec<_> = policies.iter().map(|&p| (p, simulate(p, &model, &params))).collect();
+    let secded_p = results
+        .iter()
+        .find(|(p, _)| *p == EccPolicy::Secded)
+        .map(|(_, r)| r.failure_probability)
+        .expect("secded simulated");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (p, r) in &results {
+        let improvement = secded_p / r.failure_probability.max(1e-300);
+        rows.push(vec![
+            p.name().to_string(),
+            format!("{} chips", p.domain_chips()),
+            format!("{:.3e}", r.failure_probability),
+            format!("{:.2}", r.fit),
+            format!("{:.1}x", improvement),
+        ]);
+        csv.push(format!(
+            "{},{},{:.6e},{:.4},{:.2}",
+            p.name(),
+            p.domain_chips(),
+            r.failure_probability,
+            r.fit,
+            improvement
+        ));
+    }
+    print_table(
+        &["scheme", "correction domain", "P(failure, 7y)", "FIT", "vs SECDED"],
+        &rows,
+    );
+
+    let chipkill_p = results
+        .iter()
+        .find(|(p, _)| *p == EccPolicy::Chipkill)
+        .map(|(_, r)| r.failure_probability)
+        .unwrap();
+    let synergy_p = results
+        .iter()
+        .find(|(p, _)| *p == EccPolicy::Synergy)
+        .map(|(_, r)| r.failure_probability)
+        .unwrap();
+    println!("\npaper:    Chipkill 37x, Synergy 185x better than SECDED (Synergy 5x vs Chipkill)");
+    println!(
+        "measured: Chipkill {:.0}x, Synergy {:.0}x better than SECDED (Synergy {:.1}x vs Chipkill)",
+        secded_p / chipkill_p,
+        secded_p / synergy_p,
+        chipkill_p / synergy_p
+    );
+    write_csv(
+        "fig11_reliability",
+        "scheme,domain_chips,failure_probability,fit,improvement_vs_secded",
+        &csv,
+    );
+}

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the crypto substrate: AES block
+//! throughput, counter-mode line encryption, GMAC and Carter–Wegman tags.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use synergy_crypto::ctr::LineCipher;
+use synergy_crypto::cw_mac::CarterWegmanMac;
+use synergy_crypto::gmac::Gmac;
+use synergy_crypto::{Aes128, CacheLine, EncryptionKey, MacKey};
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let block = [0x3Cu8; 16];
+    let mut g = c.benchmark_group("aes128");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    g.bench_function("decrypt_block", |b| {
+        let ct = aes.encrypt_block(&block);
+        b.iter(|| aes.decrypt_block(black_box(&ct)))
+    });
+    g.finish();
+}
+
+fn bench_ctr(c: &mut Criterion) {
+    let cipher = LineCipher::new(&EncryptionKey::from_bytes([1; 16]));
+    let line = CacheLine::from_bytes([0xA5; 64]);
+    let mut g = c.benchmark_group("ctr_mode");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("encrypt_line", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            cipher.encrypt(black_box(0x4000), black_box(ctr), black_box(&line))
+        })
+    });
+    g.finish();
+}
+
+fn bench_macs(c: &mut Criterion) {
+    let gmac = Gmac::new(&MacKey::from_bytes([2; 16]));
+    let cw = CarterWegmanMac::new(&MacKey::from_bytes([3; 16]));
+    let line = CacheLine::from_bytes([0x5A; 64]);
+    let mut g = c.benchmark_group("mac");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("gmac64_line", |b| {
+        b.iter(|| gmac.line_tag(black_box(0x4000), black_box(9), black_box(&line)))
+    });
+    g.bench_function("carter_wegman56_line", |b| {
+        b.iter(|| cw.line_tag(black_box(0x4000), black_box(9), black_box(&line)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_ctr, bench_macs);
+criterion_main!(benches);

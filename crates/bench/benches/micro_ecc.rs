@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the ECC substrate: SECDED, Chipkill
+//! Reed–Solomon, and RAID-3 parity.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use synergy_ecc::parity;
+use synergy_ecc::reed_solomon::Chipkill;
+use synergy_ecc::secded::{self, Codeword};
+
+fn bench_secded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secded");
+    g.throughput(Throughput::Bytes(8));
+    g.bench_function("encode_word", |b| {
+        b.iter(|| Codeword::encode(black_box(0xDEAD_BEEF_0123_4567)))
+    });
+    let clean = Codeword::encode(0xDEAD_BEEF_0123_4567);
+    g.bench_function("decode_clean", |b| b.iter(|| black_box(clean).decode()));
+    let flipped = clean.with_bit_flipped(17);
+    g.bench_function("decode_correct_one_bit", |b| b.iter(|| black_box(flipped).decode()));
+    g.finish();
+
+    let words = [0xAAAA_BBBB_CCCC_DDDDu64; 8];
+    let check = secded::encode_line(&words);
+    let mut g = c.benchmark_group("secded_line");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("decode_line_clean", |b| {
+        b.iter(|| secded::decode_line(black_box(&words), black_box(&check)))
+    });
+    g.finish();
+}
+
+fn bench_chipkill(c: &mut Criterion) {
+    let ck = Chipkill::new().expect("static geometry");
+    let data = [0x42u8; 64];
+    let clean = ck.encode_line(&data).expect("encode");
+    let mut g = c.benchmark_group("chipkill");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("encode_line", |b| b.iter(|| ck.encode_line(black_box(&data))));
+    g.bench_function("correct_clean_line", |b| {
+        b.iter(|| {
+            let mut beats = clean;
+            ck.correct_line(black_box(&mut beats))
+        })
+    });
+    g.bench_function("correct_failed_chip", |b| {
+        b.iter(|| {
+            let mut beats = clean;
+            for beat in beats.iter_mut() {
+                beat[7] ^= 0xFF;
+            }
+            ck.correct_line(black_box(&mut beats))
+        })
+    });
+    g.finish();
+}
+
+fn bench_parity(c: &mut Criterion) {
+    let mut slices = [[0u8; 8]; 9];
+    for (i, s) in slices.iter_mut().enumerate() {
+        *s = [(i * 17) as u8; 8];
+    }
+    let p = parity::compute(&slices);
+    let mut g = c.benchmark_group("raid3_parity");
+    g.throughput(Throughput::Bytes(72));
+    g.bench_function("compute", |b| b.iter(|| parity::compute(black_box(&slices))));
+    g.bench_function("reconstruct_chip", |b| {
+        b.iter(|| parity::reconstruct(black_box(&slices), black_box(&p), black_box(4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_secded, bench_chipkill, bench_parity);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the SYNERGY functional memory: the cost
+//! of clean reads vs single-chip correction vs tracked-chip fast-path
+//! correction — the latency story of §IV-A in real operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synergy_core::memory::{SynergyMemory, SynergyMemoryConfig};
+use synergy_crypto::CacheLine;
+
+fn prepared_memory(tracking: Option<u64>) -> SynergyMemory {
+    let mut mem = SynergyMemory::new(SynergyMemoryConfig {
+        fault_tracking_threshold: tracking,
+        ..SynergyMemoryConfig::with_capacity(1 << 16)
+    })
+    .expect("config valid");
+    for i in 0..64u64 {
+        mem.write_line(i * 64, &CacheLine::from_bytes([i as u8; 64])).expect("write");
+    }
+    mem
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synergy_memory");
+
+    g.bench_function("write_line", |b| {
+        let mut mem = prepared_memory(None);
+        b.iter(|| mem.write_line(black_box(0x400), &CacheLine::from_bytes([9; 64])))
+    });
+
+    g.bench_function("read_clean", |b| {
+        let mut mem = prepared_memory(None);
+        b.iter(|| mem.read_line(black_box(0x400)))
+    });
+
+    // Every read re-injects the fault so each iteration pays a full
+    // reconstruction (the read scrubs the line after correcting).
+    g.bench_function("read_correct_data_chip", |b| {
+        let mut mem = prepared_memory(None);
+        b.iter(|| {
+            mem.inject_chip_error(0x400, 3);
+            mem.read_line(black_box(0x400)).expect("correctable")
+        })
+    });
+
+    g.bench_function("read_correct_mac_chip", |b| {
+        let mut mem = prepared_memory(None);
+        b.iter(|| {
+            mem.inject_chip_error(0x400, 8);
+            mem.read_line(black_box(0x400)).expect("correctable")
+        })
+    });
+
+    // Scenario D: data chip + its parity slot both corrupted → the
+    // parity-of-parities path (up to ~16 MAC recomputations).
+    g.bench_function("read_correct_scenario_d", |b| {
+        let mut mem = prepared_memory(None);
+        let p_addr = mem.layout().parity_line_addr(0x400);
+        let p_slot = mem.layout().parity_slot(0x400);
+        b.iter(|| {
+            mem.inject_chip_error(0x400, 3);
+            mem.inject_chip_pattern(p_addr, p_slot, [0x3C; 8]);
+            mem.read_line(black_box(0x400)).expect("correctable")
+        })
+    });
+
+    // §IV-A mitigation: after tracking identifies the chip, correction
+    // costs a single MAC computation.
+    g.bench_function("read_correct_tracked_chip", |b| {
+        let mut mem = prepared_memory(Some(4));
+        for i in 0..8u64 {
+            mem.inject_chip_error(i * 64, 3);
+            let _ = mem.read_line(i * 64).expect("correctable");
+        }
+        assert_eq!(mem.tracked_faulty_chip(), Some(3));
+        b.iter(|| {
+            mem.inject_chip_error(0x400, 3);
+            mem.read_line(black_box(0x400)).expect("correctable")
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_reads);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Table I — DRAM failures per billion hours (FIT), Sridharan & Liberty.
+//!
+//! The fault model is an *input* to the reliability evaluation; this bench
+//! prints it alongside derived quantities the paper's argument uses: the
+//! share of faults SECDED can handle alone and the expected per-chip fault
+//! count over the 7-year evaluation lifetime.
+
+use synergy_bench::{banner, print_table, write_csv};
+use synergy_faultsim::{FaultModel, HOURS_PER_YEAR};
+
+fn main() {
+    banner("Table I — DRAM failure rates (FIT per chip)", "Table I");
+    let model = FaultModel::sridharan();
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for r in model.rates() {
+        rows.push(vec![
+            r.mode.to_string(),
+            format!("{:.1}", r.transient_fit),
+            format!("{:.1}", r.permanent_fit),
+            if r.mode.defeats_secded() { "no".into() } else { "yes".into() },
+        ]);
+        csv.push(format!(
+            "{},{},{},{}",
+            r.mode,
+            r.transient_fit,
+            r.permanent_fit,
+            !r.mode.defeats_secded()
+        ));
+    }
+    print_table(&["fault mode", "transient FIT", "permanent FIT", "SECDED-correctable"], &rows);
+
+    let total = model.total_fit();
+    let correctable: f64 = model
+        .rates()
+        .iter()
+        .filter(|r| !r.mode.defeats_secded())
+        .map(|r| r.total_fit())
+        .sum();
+    println!("\ntotal per-chip FIT: {total:.1}");
+    println!(
+        "SECDED-correctable share: {:.0}% (paper §II-B: \"single bit … 50% of the failures\")",
+        100.0 * correctable / total
+    );
+    println!(
+        "expected faults per chip over 7 years: {:.2e}",
+        model.expected_faults_per_chip(7.0 * HOURS_PER_YEAR)
+    );
+
+    write_csv("table1_fault_model", "mode,transient_fit,permanent_fit,secded_correctable", &csv);
+}

@@ -1,0 +1,44 @@
+//! Table III — baseline system configuration.
+
+use synergy_bench::{banner, print_table, write_csv};
+use synergy_core::system::SystemConfig;
+use synergy_secure::DesignConfig;
+
+fn main() {
+    banner("Table III — baseline system configuration", "Table III");
+    let cfg = SystemConfig::new(DesignConfig::sgx_o());
+    let d = &cfg.dram;
+
+    let rows: Vec<(&str, String)> = vec![
+        ("Number of cores", cfg.cores.to_string()),
+        ("Processor clock speed", "3.2 GHz (4 CPU cycles / memory cycle)".into()),
+        ("Processor ROB size", cfg.rob_size.to_string()),
+        ("Processor fetch/retire width", cfg.retire_width.to_string()),
+        (
+            "Last-level cache (shared)",
+            format!(
+                "{} MB, {}-way, {} B lines",
+                cfg.llc.capacity_bytes() >> 20,
+                cfg.llc.ways(),
+                cfg.llc.line_bytes()
+            ),
+        ),
+        ("Metadata cache (shared)", "128 KB, 8-way, 64 B lines".into()),
+        ("Memory bus speed", "800 MHz (DDR3-1600)".into()),
+        ("DDR3 memory channels", d.channels.to_string()),
+        ("Ranks per channel", d.ranks_per_channel.to_string()),
+        ("Banks per rank", d.banks_per_rank.to_string()),
+        ("Rows per bank", format!("{} K", d.rows_per_bank / 1024)),
+        ("Columns (cachelines) per row", d.lines_per_row.to_string()),
+        ("Total DRAM capacity", format!("{} GiB", d.capacity_bytes() >> 30)),
+        ("Protected data capacity (layout)", format!("{} GiB", cfg.data_capacity >> 30)),
+    ];
+
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|(k, v)| vec![k.to_string(), v.clone()]).collect();
+    print_table(&["parameter", "value"], &table);
+
+    let csv: Vec<String> =
+        rows.iter().map(|(k, v)| format!("{},{}", k, v.replace(',', ";"))).collect();
+    write_csv("table3_system_config", "parameter,value", &csv);
+}

@@ -1,0 +1,28 @@
+//! Calibration probe: normalized IPC of each design on a few workloads.
+use synergy_bench::*;
+use synergy_dram::RequestClass;
+use synergy_secure::DesignConfig;
+use synergy_trace::presets;
+
+fn main() {
+    for name in ["mcf", "libquantum", "lbm", "milc", "pr-twi", "pr-web", "omnetpp"] {
+        let w = presets::by_name(name).unwrap();
+        let base = run_workload(DesignConfig::sgx_o(), &w, 2);
+        let ns = run_workload(DesignConfig::non_secure(), &w, 2);
+        let sgx = run_workload(DesignConfig::sgx(), &w, 2);
+        let syn = run_workload(DesignConfig::synergy(), &w, 2);
+        println!(
+            "{name:12} NS={:.2} SGX={:.2} SYN={:.2} | base ipc={:.2} apki(D/C/T/M/P r+w)={:.1}/{:.1}/{:.1}/{:.1}/{:.1} | syn edp={:.2}",
+            ns.ipc / base.ipc,
+            sgx.ipc / base.ipc,
+            syn.ipc / base.ipc,
+            base.ipc,
+            base.traffic.reads(RequestClass::Data) + base.traffic.writes(RequestClass::Data),
+            base.traffic.reads(RequestClass::Counter) + base.traffic.writes(RequestClass::Counter),
+            base.traffic.reads(RequestClass::TreeNode) + base.traffic.writes(RequestClass::TreeNode),
+            base.traffic.reads(RequestClass::Mac) + base.traffic.writes(RequestClass::Mac),
+            base.traffic.reads(RequestClass::Parity) + base.traffic.writes(RequestClass::Parity),
+            syn.edp() / base.edp(),
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Compare SGX vs SGX_O internals on web graphs.
+use synergy_bench::*;
+use synergy_dram::RequestClass as RC;
+use synergy_secure::DesignConfig;
+use synergy_trace::presets;
+
+fn main() {
+    for name in ["pr-web", "pr-twi"] {
+        let w = presets::by_name(name).unwrap();
+        for d in [DesignConfig::sgx(), DesignConfig::sgx_o()] {
+            let r = run_workload(d.clone(), &w, 2);
+            println!("{name:8} {:6} ipc={:.3} data={:.1} ctr={:.1} tree={:.1} mac={:.1} total={:.1} | dreads={} dwb={} cded={} cllc={} cmiss={} treef={} llc_hit%={:.0}",
+                d.name, r.ipc,
+                r.traffic.reads(RC::Data)+r.traffic.writes(RC::Data),
+                r.traffic.reads(RC::Counter)+r.traffic.writes(RC::Counter),
+                r.traffic.reads(RC::TreeNode)+r.traffic.writes(RC::TreeNode),
+                r.traffic.reads(RC::Mac)+r.traffic.writes(RC::Mac),
+                r.traffic.total_apki(),
+                r.engine.data_reads, r.engine.data_writebacks,
+                r.engine.counter_dedicated_hits, r.engine.counter_llc_hits, r.engine.counter_misses,
+                r.engine.tree_fetches,
+                100.0*(1.0-r.llc.miss_ratio()));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Every table and figure of the paper has a bench target in `benches/`
+//! (custom `harness = false` executables) that prints the same rows or
+//! series the paper reports and writes a CSV under `target/experiments/`.
+//! This library holds the common machinery: running one workload under one
+//! design, geometric means, table formatting, and CSV output.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `SYNERGY_BENCH_INSTS` — instructions per core per run
+//!   (default 200,000; the paper uses 1 billion — relative results
+//!   stabilize far earlier).
+//! * `SYNERGY_BENCH_WARMUP` — warm-up trace records per core
+//!   (default 60,000; enough to reach LLC steady state).
+//! * `SYNERGY_BENCH_DEVICES` — Monte-Carlo devices for Figure 11
+//!   (default 50,000,000).
+//! * `SYNERGY_BENCH_WORKLOADS` — `all` (29 + 6 mixes) or `quick`
+//!   (a representative memory-intensive subset; the default).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use synergy_core::system::{run, SimResult, SystemConfig};
+use synergy_dram::DramConfig;
+use synergy_secure::DesignConfig;
+use synergy_trace::{presets, MultiCoreTrace, WorkloadSpec};
+
+/// Instructions per core for performance runs.
+pub fn bench_insts() -> u64 {
+    env_u64("SYNERGY_BENCH_INSTS", 200_000)
+}
+
+/// Warm-up records per core.
+pub fn bench_warmup() -> u64 {
+    env_u64("SYNERGY_BENCH_WARMUP", 60_000)
+}
+
+/// Monte-Carlo devices for reliability runs.
+pub fn bench_devices() -> u64 {
+    env_u64("SYNERGY_BENCH_DEVICES", 50_000_000)
+}
+
+/// Whether to run the full 35-workload sweep or the quick subset.
+pub fn full_sweep() -> bool {
+    std::env::var("SYNERGY_BENCH_WORKLOADS").map(|v| v == "all").unwrap_or(false)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The workload list for performance figures: all 29 when `full_sweep()`,
+/// otherwise the memory-intensive subset the headline numbers average.
+pub fn perf_workloads() -> Vec<WorkloadSpec> {
+    if full_sweep() {
+        presets::all()
+    } else {
+        presets::memory_intensive()
+    }
+}
+
+/// Runs one single-benchmark workload (rate mode, 4 cores) under `design`.
+pub fn run_workload(design: DesignConfig, workload: &WorkloadSpec, channels: usize) -> SimResult {
+    let mut cfg = SystemConfig::new(design);
+    cfg.dram = DramConfig::with_channels(channels);
+    cfg.warmup_records_per_core = bench_warmup();
+    let mut trace = MultiCoreTrace::rate_mode(workload, cfg.cores, 0xBEEF ^ channels as u64);
+    run(&cfg, &mut trace, bench_insts()).expect("simulation config is valid")
+}
+
+/// Runs a 4-benchmark mix under `design`.
+pub fn run_mix(design: DesignConfig, mix: &presets::MixSpec, channels: usize) -> SimResult {
+    let members = presets::mix_members(mix);
+    let mut cfg = SystemConfig::new(design);
+    cfg.dram = DramConfig::with_channels(channels);
+    cfg.warmup_records_per_core = bench_warmup();
+    let mut trace = MultiCoreTrace::mixed(&members, 0xBEEF ^ channels as u64);
+    run(&cfg, &mut trace, bench_insts()).expect("simulation config is valid")
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive value.
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "gmean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Directory for experiment CSVs (`target/experiments/`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir
+}
+
+/// Writes a CSV file of `rows` under `target/experiments/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut out = String::with_capacity(rows.len() * 64 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("can write experiment CSV");
+    println!("\n[csv] {}", path.display());
+}
+
+/// Prints an aligned table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<w$}", c, w = widths[i]));
+            } else {
+                s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+            }
+        }
+        println!("{s}");
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Prints the standard bench banner with the effective scale settings.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref} of SYNERGY, HPCA 2018)");
+    println!(
+        "scale: {} insts/core, {} warmup records/core{}",
+        bench_insts(),
+        bench_warmup(),
+        if full_sweep() { ", full workload sweep" } else { ", quick workload subset" }
+    );
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[0.5, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_non_positive() {
+        gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert!(bench_insts() > 0);
+        assert!(bench_devices() > 0);
+    }
+
+    #[test]
+    fn quick_workload_list_is_memory_intensive() {
+        for w in perf_workloads() {
+            assert!(w.apki >= 10.0 || full_sweep());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Analytical security/reliability bounds from §IV of the paper.
+//!
+//! These closed-form results complement the Monte-Carlo simulation: the
+//! probability that the reconstruction engine *mis-corrects* (accepts a
+//! wrong reconstruction because of a MAC collision), the effective MAC
+//! strength after repeated correction attempts, the silent-data-corruption
+//! rate, and the worst-case MAC-computation counts.
+
+/// Probability that at least one of `attempts` MAC recomputations collides
+/// for a `mac_bits`-bit MAC (union bound — exact to first order).
+///
+/// §III: "the probability of this event is negligible (2^-61 for 8 MAC
+/// re-computations)" — i.e. 8 × 2^-64 = 2^-61.
+pub fn mac_collision_probability(mac_bits: u32, attempts: u32) -> f64 {
+    attempts as f64 * 2f64.powi(-(mac_bits as i32))
+}
+
+/// Effective MAC strength in bits after `attempts` forgery opportunities:
+/// `mac_bits - log2(attempts)`.
+///
+/// §IV-B: 16 attempts reduce the 64-bit MAC to 60 effective bits; 8
+/// attempts (counter lines) leave 61 — still stronger than SGX's 56-bit
+/// MAC.
+pub fn effective_mac_bits(mac_bits: u32, attempts: u32) -> f64 {
+    mac_bits as f64 - (attempts.max(1) as f64).log2()
+}
+
+/// Silent-data-corruption FIT rate: errors arrive at `error_fit`
+/// (failures per 10^9 hours) and each correction mis-corrects with
+/// `mac_collision_probability(mac_bits, attempts)`.
+///
+/// §IV-A: with a conservative 100 FIT error rate and ≤16 recomputations of
+/// a 64-bit MAC, the SDC rate is below 10^-15 FIT — about thirteen orders
+/// of magnitude below Chipkill's SDC rate.
+pub fn sdc_fit(error_fit: f64, mac_bits: u32, attempts: u32) -> f64 {
+    error_fit * mac_collision_probability(mac_bits, attempts)
+}
+
+/// Maximum MAC computations to fully correct one access when every level
+/// is erroneous (§IV-A): up to 16 for the data line (two parity passes)
+/// plus 8 per counter/tree level of the chain.
+///
+/// For the paper's 9-level tree protecting 16 GB: 16 + 9×8 = 88.
+pub fn max_mac_computations(chain_levels: u32) -> u32 {
+    16 + 8 * chain_levels
+}
+
+/// Worst-case correction cost after the permanent-fault mitigation of
+/// §IV-A identifies the failed chip: one MAC computation per level — the
+/// same as the error-free integrity verification.
+pub fn tracked_fault_mac_computations(chain_levels: u32) -> u32 {
+    1 + chain_levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_probability_matches_paper() {
+        // 8 recomputations of a 64-bit MAC → 2^-61.
+        let p = mac_collision_probability(64, 8);
+        assert!((p - 2f64.powi(-61)).abs() < 1e-25);
+        // 16 recomputations: < 10^-18 (the paper rounds to "10^-20").
+        assert!(mac_collision_probability(64, 16) < 1e-18);
+    }
+
+    #[test]
+    fn effective_strength_matches_paper() {
+        assert_eq!(effective_mac_bits(64, 16), 60.0);
+        assert_eq!(effective_mac_bits(64, 8), 61.0);
+        // Still stronger than SGX's 56-bit MAC (§IV-B).
+        assert!(effective_mac_bits(64, 16) > 56.0);
+        assert_eq!(effective_mac_bits(64, 1), 64.0);
+        assert_eq!(effective_mac_bits(64, 0), 64.0);
+    }
+
+    #[test]
+    fn sdc_rate_is_negligible() {
+        // Conservative 100 FIT error rate (§IV-A footnote).
+        let fit = sdc_fit(100.0, 64, 16);
+        assert!(fit < 1e-15, "SDC FIT {fit}");
+        assert!(fit > 0.0);
+    }
+
+    #[test]
+    fn mac_computation_bounds_match_paper() {
+        // "up to 88 MAC computations … for a 9-level integrity tree
+        // protecting a 16 GB memory".
+        assert_eq!(max_mac_computations(9), 88);
+        // And the §IV-A mitigation collapses it to the baseline's cost.
+        assert_eq!(tracked_fault_mac_computations(9), 10);
+        assert!(tracked_fault_mac_computations(9) < max_mac_computations(9) / 8);
+    }
+}

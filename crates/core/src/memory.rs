@@ -1,0 +1,942 @@
+//! The functional SYNERGY memory — the paper's contribution, byte-accurate.
+//!
+//! [`SynergyMemory`] models a 9-chip ECC-DIMM protected memory exactly as
+//! §III describes:
+//!
+//! * **Writes** encrypt the line in counter mode, bump the per-line 56-bit
+//!   counter, recompute the 64-bit GMAC (stored in the ECC chip, co-located
+//!   with data), update the RAID-3 parity slot (`P = C0 ⊕ … ⊕ C7 ⊕ MAC`) in
+//!   the parity region, and propagate counter bumps + MAC recomputation up
+//!   the Bonsai counter tree to the on-chip root.
+//! * **Reads** verify the counter chain top-down (every counter/tree line
+//!   has a distributed MAC keyed by its parent counter), then verify the
+//!   data MAC. A mismatch triggers the §III-B correction flow instead of an
+//!   immediate attack declaration: reconstruct each candidate chip from the
+//!   parity (MAC chip first, then the 8 data chips) and accept the first
+//!   reconstruction whose MAC verifies; if all fail, rebuild the parity
+//!   itself from `ParityP` and retry — up to ~16 MAC recomputations.
+//!   Counter/tree lines correct through `ParityC` in their ECC chip
+//!   (≤ 8 recomputations). If nothing verifies, the event is
+//!   indistinguishable from tampering and an **attack is declared**.
+//! * **Permanent-fault tracking** (§IV-A): after a configurable number of
+//!   corrections blame the same chip, reads preemptively reconstruct that
+//!   chip first, collapsing correction cost to one MAC computation.
+//!
+//! Error injection APIs corrupt specific chips of specific lines (or a
+//! whole chip across the DIMM), letting tests and examples exercise every
+//! scenario of Figure 7(c).
+
+use std::collections::HashMap;
+
+use synergy_crypto::ctr::LineCipher;
+use synergy_crypto::gmac::Gmac;
+use synergy_crypto::{CacheLine, EncryptionKey, MacKey};
+use synergy_secure::layout::{CounterOrg, MetadataLayout, Region, TreeLeaves, LINE};
+
+use crate::stored::{ChipSlice, StoredLine, CHIPS};
+
+/// 56-bit counter mask.
+const MASK56: u64 = (1 << 56) - 1;
+
+/// Errors returned by the functional memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Verification failed and correction was impossible: either a
+    /// multi-chip error or actual tampering — SYNERGY cannot tell them
+    /// apart and halts (§III-B "Detected Uncorrectable Errors or Attack").
+    AttackDetected {
+        /// The line that failed verification.
+        addr: u64,
+    },
+    /// Address beyond the protected capacity.
+    OutOfRange {
+        /// Offending address.
+        addr: u64,
+        /// Configured capacity.
+        capacity: u64,
+    },
+    /// Address not aligned to the 64-byte line size.
+    Misaligned {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Invalid configuration.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemoryError::AttackDetected { addr } => {
+                write!(f, "uncorrectable error or attack at {addr:#x}")
+            }
+            MemoryError::OutOfRange { addr, capacity } => {
+                write!(f, "address {addr:#x} beyond capacity {capacity:#x}")
+            }
+            MemoryError::Misaligned { addr } => {
+                write!(f, "address {addr:#x} is not 64-byte aligned")
+            }
+            MemoryError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Configuration of a [`SynergyMemory`].
+#[derive(Debug, Clone)]
+pub struct SynergyMemoryConfig {
+    /// Protected data capacity in bytes (multiple of 512).
+    pub capacity_bytes: u64,
+    /// Key for counter-mode encryption.
+    pub encryption_key: EncryptionKey,
+    /// Key for GMAC computation.
+    pub mac_key: MacKey,
+    /// Corrections blamed on one chip before it is treated as failed and
+    /// preemptively reconstructed (§IV-A). `None` disables tracking.
+    pub fault_tracking_threshold: Option<u64>,
+}
+
+impl SynergyMemoryConfig {
+    /// A configuration with deterministic demo keys — convenient for
+    /// examples and tests. Production users supply their own keys.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            encryption_key: EncryptionKey::from_bytes(*b"synergy-demo-ek!"),
+            mac_key: MacKey::from_bytes(*b"synergy-demo-mk!"),
+            fault_tracking_threshold: Some(16),
+        }
+    }
+}
+
+/// Result of a successful read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutput {
+    /// The decrypted plaintext line.
+    pub data: CacheLine,
+    /// Whether an error was detected and corrected on this read.
+    pub corrected: bool,
+    /// MAC computations this read performed (1 on the clean fast path,
+    /// up to ~16 + tree correction during reconstruction).
+    pub mac_computations: u32,
+}
+
+/// Operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Lines read.
+    pub reads: u64,
+    /// Lines written.
+    pub writes: u64,
+    /// Total MAC computations (verification + reconstruction + updates).
+    pub mac_computations: u64,
+    /// Successful corrections.
+    pub corrections: u64,
+    /// Corrections that needed the parity-of-parities path (data and
+    /// parity simultaneously bad — Scenario D of Figure 7(c)).
+    pub parity_reconstructions: u64,
+    /// Reads fixed by the tracked-chip fast path.
+    pub preemptive_corrections: u64,
+    /// Attack declarations (uncorrectable).
+    pub attacks_declared: u64,
+    /// Corrections attributed to each chip.
+    pub per_chip_corrections: [u64; CHIPS],
+}
+
+/// Which line a parent-counter lookup refers to.
+#[derive(Debug, Clone, Copy)]
+enum Parent {
+    /// On-chip root counter with this index.
+    Root(usize),
+    /// Slot `slot` of the counter/tree line at `addr`.
+    Node { addr: u64, slot: usize },
+}
+
+/// The functional SYNERGY-protected memory.
+///
+/// ```
+/// use synergy_core::memory::{SynergyMemory, SynergyMemoryConfig};
+/// use synergy_crypto::CacheLine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mem = SynergyMemory::new(SynergyMemoryConfig::with_capacity(1 << 16))?;
+/// let secret = CacheLine::from_bytes([0x42; 64]);
+/// mem.write_line(0x1000, &secret)?;
+///
+/// // A whole chip fails in the stored line…
+/// mem.inject_chip_error(0x1000, 5);
+/// // …and the read transparently reconstructs it via MAC + parity.
+/// let out = mem.read_line(0x1000)?;
+/// assert_eq!(out.data, secret);
+/// assert!(out.corrected);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SynergyMemory {
+    layout: MetadataLayout,
+    cipher: LineCipher,
+    gmac: Gmac,
+    lines: HashMap<u64, StoredLine>,
+    root_counters: Vec<u64>,
+    stats: MemoryStats,
+    fault_tracking_threshold: Option<u64>,
+    tracked_faulty_chip: Option<usize>,
+}
+
+impl SynergyMemory {
+    /// Creates a zero-initialized protected memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::InvalidConfig`] when the capacity is zero or
+    /// not a multiple of 512 bytes (8 lines — one parity-line group).
+    pub fn new(config: SynergyMemoryConfig) -> Result<Self, MemoryError> {
+        if config.capacity_bytes == 0 || !config.capacity_bytes.is_multiple_of(8 * LINE) {
+            return Err(MemoryError::InvalidConfig {
+                reason: format!(
+                    "capacity {} must be a nonzero multiple of 512 bytes",
+                    config.capacity_bytes
+                ),
+            });
+        }
+        let layout = MetadataLayout::new(
+            config.capacity_bytes,
+            CounterOrg::Monolithic,
+            TreeLeaves::CounterLines,
+        );
+        let roots = layout.root_counter_count() as usize;
+        Ok(Self {
+            layout,
+            cipher: LineCipher::new(&config.encryption_key),
+            gmac: Gmac::new(&config.mac_key),
+            lines: HashMap::new(),
+            root_counters: vec![0; roots],
+            stats: MemoryStats::default(),
+            fault_tracking_threshold: config.fault_tracking_threshold,
+            tracked_faulty_chip: None,
+        })
+    }
+
+    /// The metadata layout in use.
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// The chip currently tracked as failed, if any (§IV-A mitigation).
+    pub fn tracked_faulty_chip(&self) -> Option<usize> {
+        self.tracked_faulty_chip
+    }
+
+    /// Writes a plaintext line: encrypt, MAC, parity update, tree update.
+    ///
+    /// # Errors
+    ///
+    /// Returns address-validation errors, or [`MemoryError::AttackDetected`]
+    /// when the counter chain cannot be verified/corrected.
+    pub fn write_line(&mut self, addr: u64, plaintext: &CacheLine) -> Result<(), MemoryError> {
+        self.check_data_addr(addr)?;
+        self.stats.writes += 1;
+
+        let ctr_addr = self.layout.counter_line_addr(addr);
+        // Verify (and correct) the whole counter chain before mutating.
+        self.verified_counters(ctr_addr)?;
+
+        // Bump every counter on the path root-down, recomputing MACs with
+        // the parent's fresh value (Bonsai update).
+        let chain = self.chain_top_down(addr);
+        let root_idx = self.root_index(ctr_addr);
+        self.root_counters[root_idx] = (self.root_counters[root_idx] + 1) & MASK56;
+        let mut parent_ctr = self.root_counters[root_idx];
+        for (node_addr, child_slot) in chain {
+            self.ensure_line(node_addr);
+            let stored = self.lines[&node_addr];
+            let (mut counters, _, _) = stored.counter_parts();
+            counters[child_slot] = (counters[child_slot] + 1) & MASK56;
+            let mac = self.gmac.node_tag(node_addr, parent_ctr, &pack_counters(&counters));
+            self.stats.mac_computations += 1;
+            self.lines.insert(node_addr, StoredLine::from_counters(&counters, mac));
+            parent_ctr = counters[child_slot];
+        }
+        let new_counter = parent_ctr;
+
+        // Encrypt + MAC + co-locate (data chips + ECC chip).
+        let ciphertext = self.cipher.encrypt(addr, new_counter, plaintext);
+        let mac = self.gmac.line_tag(addr, new_counter, &ciphertext);
+        self.stats.mac_computations += 1;
+        let new_stored = StoredLine::from_data(&ciphertext, mac);
+
+        // Parity slot update (P = XOR of all nine chips).
+        let p_addr = self.layout.parity_line_addr(addr);
+        let p_slot = self.layout.parity_slot(addr);
+        self.ensure_line(p_addr);
+        let (mut slots, _) = self.lines[&p_addr].parity_parts();
+        slots[p_slot] = new_stored.xor_of_nine();
+        self.lines.insert(p_addr, StoredLine::from_parities(&slots));
+
+        self.lines.insert(addr, new_stored);
+        Ok(())
+    }
+
+    /// Reads and verifies a line, correcting single-chip errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns address-validation errors, or [`MemoryError::AttackDetected`]
+    /// for uncorrectable corruption (multi-chip error or tampering).
+    pub fn read_line(&mut self, addr: u64) -> Result<ReadOutput, MemoryError> {
+        self.check_data_addr(addr)?;
+        self.stats.reads += 1;
+        let macs_before = self.stats.mac_computations;
+
+        let ctr_addr = self.layout.counter_line_addr(addr);
+        let counters = self.verified_counters(ctr_addr)?;
+        let counter = counters[self.layout.counter_slot(addr)];
+        self.ensure_line(addr);
+
+        // Fast path for a tracked permanent chip failure: reconstruct that
+        // chip first; the MAC verification that follows is the same single
+        // computation the error-free path performs (§IV-A).
+        if let Some(chip) = self.tracked_faulty_chip {
+            let parity = self.parity_slot_value(addr);
+            let candidate = self.lines[&addr].with_chip_reconstructed(chip, &parity);
+            let (cl, cmac) = candidate.data_parts();
+            self.stats.mac_computations += 1;
+            if self.gmac.line_tag(addr, counter, &cl) == cmac {
+                let fixed = candidate != self.lines[&addr];
+                if fixed {
+                    self.lines.insert(addr, candidate);
+                    self.stats.preemptive_corrections += 1;
+                }
+                return Ok(ReadOutput {
+                    data: self.cipher.decrypt(addr, counter, &cl),
+                    corrected: fixed,
+                    mac_computations: (self.stats.mac_computations - macs_before) as u32,
+                });
+            }
+        }
+
+        let stored = self.lines[&addr];
+        let (ciphertext, mac) = stored.data_parts();
+        self.stats.mac_computations += 1;
+        if self.gmac.line_tag(addr, counter, &ciphertext) == mac {
+            return Ok(ReadOutput {
+                data: self.cipher.decrypt(addr, counter, &ciphertext),
+                corrected: false,
+                mac_computations: (self.stats.mac_computations - macs_before) as u32,
+            });
+        }
+
+        // §III-B: correction instead of immediate attack declaration.
+        let fixed = self.correct_data_line(addr, counter)?;
+        let (ciphertext, _) = fixed.data_parts();
+        Ok(ReadOutput {
+            data: self.cipher.decrypt(addr, counter, &ciphertext),
+            corrected: true,
+            mac_computations: (self.stats.mac_computations - macs_before) as u32,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Error / attack injection
+    // ------------------------------------------------------------------
+
+    /// XORs a fixed corruption pattern into chip `chip` of the line at
+    /// `line_addr` (any region: data, counter, tree or parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= 9` or the address is outside the layout.
+    pub fn inject_chip_error(&mut self, line_addr: u64, chip: usize) {
+        self.inject_chip_pattern(line_addr, chip, [0xA5; 8]);
+    }
+
+    /// XORs an arbitrary pattern into one chip of one line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= 9` or the address is outside the layout.
+    pub fn inject_chip_pattern(&mut self, line_addr: u64, chip: usize, pattern: ChipSlice) {
+        assert!(
+            self.layout.classify(line_addr) != Region::OutOfRange,
+            "address {line_addr:#x} outside layout"
+        );
+        self.ensure_line(line_addr);
+        self.lines.get_mut(&line_addr).expect("ensured").corrupt_chip(chip, pattern);
+    }
+
+    /// Flips a single bit (0..64) of one chip of one line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= 9`, `bit >= 64`, or the address is invalid.
+    pub fn inject_bit_flip(&mut self, line_addr: u64, chip: usize, bit: usize) {
+        assert!(bit < 64, "bit {bit} out of range");
+        let mut pattern = [0u8; 8];
+        pattern[bit / 8] = 1 << (bit % 8);
+        self.inject_chip_pattern(line_addr, chip, pattern);
+    }
+
+    /// Fails an entire chip: corrupts its slice in every materialized line
+    /// (all regions) — the full Chipkill scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= 9`.
+    pub fn inject_chip_failure(&mut self, chip: usize) {
+        assert!(chip < CHIPS, "chip {chip} out of range");
+        for stored in self.lines.values_mut() {
+            stored.corrupt_chip(chip, [0xE7; 8]);
+        }
+    }
+
+    /// Adversary primitive: snapshot the raw stored line (as read off the
+    /// bus by a physical attacker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the layout.
+    pub fn snapshot_raw(&mut self, line_addr: u64) -> StoredLine {
+        assert!(self.layout.classify(line_addr) != Region::OutOfRange);
+        self.ensure_line(line_addr);
+        self.lines[&line_addr]
+    }
+
+    /// Adversary primitive: overwrite the raw stored line (splicing or
+    /// replaying stale contents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the layout.
+    pub fn overwrite_raw(&mut self, line_addr: u64, stored: StoredLine) {
+        assert!(self.layout.classify(line_addr) != Region::OutOfRange);
+        self.lines.insert(line_addr, stored);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_data_addr(&self, addr: u64) -> Result<(), MemoryError> {
+        if !addr.is_multiple_of(LINE) {
+            return Err(MemoryError::Misaligned { addr });
+        }
+        if addr >= self.layout.data_bytes() {
+            return Err(MemoryError::OutOfRange { addr, capacity: self.layout.data_bytes() });
+        }
+        Ok(())
+    }
+
+    /// Verified read of a counter/tree line, correcting via `ParityC`.
+    fn verified_counters(&mut self, line_addr: u64) -> Result<[u64; 8], MemoryError> {
+        let parent_ctr = match self.parent_of(line_addr) {
+            Parent::Root(i) => self.root_counters[i],
+            Parent::Node { addr, slot } => self.verified_counters(addr)?[slot],
+        };
+        self.ensure_line(line_addr);
+        let stored = self.lines[&line_addr];
+        let (counters, mac, _) = stored.counter_parts();
+        self.stats.mac_computations += 1;
+        if self.gmac.node_tag(line_addr, parent_ctr, &pack_counters(&counters)) == mac {
+            return Ok(counters);
+        }
+        // Correction: up to 8 reconstruction attempts (Scenario B/C).
+        for chip in 0..8 {
+            let candidate = stored.with_chip_reconstructed_from_ecc(chip);
+            let (c2, m2, _) = candidate.counter_parts();
+            self.stats.mac_computations += 1;
+            if self.gmac.node_tag(line_addr, parent_ctr, &pack_counters(&c2)) == m2 {
+                self.lines.insert(line_addr, candidate);
+                self.record_correction(chip);
+                return Ok(c2);
+            }
+        }
+        self.stats.attacks_declared += 1;
+        Err(MemoryError::AttackDetected { addr: line_addr })
+    }
+
+    /// The §III-B data-line reconstruction engine (Scenario D included).
+    fn correct_data_line(&mut self, addr: u64, counter: u64) -> Result<StoredLine, MemoryError> {
+        let stored = self.lines[&addr];
+        let p_addr = self.layout.parity_line_addr(addr);
+        let p_slot = self.layout.parity_slot(addr);
+        self.ensure_line(p_addr);
+        let (slots, parity_p) = self.lines[&p_addr].parity_parts();
+        let primary = slots[p_slot];
+
+        // MAC chip first, then the data chips (§III-B ordering).
+        let order: [usize; CHIPS] = [8, 0, 1, 2, 3, 4, 5, 6, 7];
+
+        for pass in 0..2 {
+            let (parity, reconstructed_parity) = if pass == 0 {
+                (primary, false)
+            } else {
+                // The parity itself may sit in the failed chip: rebuild it
+                // from ParityP and the other seven slots.
+                let mut rebuilt = parity_p;
+                for (i, s) in slots.iter().enumerate() {
+                    if i != p_slot {
+                        for (r, b) in rebuilt.iter_mut().zip(s.iter()) {
+                            *r ^= b;
+                        }
+                    }
+                }
+                if rebuilt == primary {
+                    break; // nothing new to try
+                }
+                (rebuilt, true)
+            };
+
+            for &chip in &order {
+                let candidate = stored.with_chip_reconstructed(chip, &parity);
+                let (cl, cmac) = candidate.data_parts();
+                self.stats.mac_computations += 1;
+                if self.gmac.line_tag(addr, counter, &cl) == cmac {
+                    self.lines.insert(addr, candidate);
+                    if reconstructed_parity {
+                        let mut new_slots = slots;
+                        new_slots[p_slot] = parity;
+                        self.lines.insert(p_addr, StoredLine::from_parities(&new_slots));
+                        self.stats.parity_reconstructions += 1;
+                    }
+                    self.record_correction(chip);
+                    return Ok(candidate);
+                }
+            }
+        }
+        self.stats.attacks_declared += 1;
+        Err(MemoryError::AttackDetected { addr })
+    }
+
+    fn record_correction(&mut self, chip: usize) {
+        self.stats.corrections += 1;
+        self.stats.per_chip_corrections[chip] += 1;
+        if let Some(threshold) = self.fault_tracking_threshold {
+            if self.stats.per_chip_corrections[chip] >= threshold {
+                self.tracked_faulty_chip = Some(chip);
+            }
+        }
+    }
+
+    /// Current parity value protecting the data line at `addr`.
+    fn parity_slot_value(&mut self, addr: u64) -> ChipSlice {
+        let p_addr = self.layout.parity_line_addr(addr);
+        self.ensure_line(p_addr);
+        let (slots, _) = self.lines[&p_addr].parity_parts();
+        slots[self.layout.parity_slot(addr)]
+    }
+
+    fn parent_of(&self, line_addr: u64) -> Parent {
+        match self.layout.classify(line_addr) {
+            Region::Counter => {
+                let idx = (line_addr - self.layout.counter_base()) / LINE;
+                if self.layout.tree_depth() == 0 {
+                    Parent::Root(idx as usize)
+                } else {
+                    Parent::Node {
+                        addr: self.layout.tree_node_addr(0, idx / 8),
+                        slot: (idx % 8) as usize,
+                    }
+                }
+            }
+            Region::Tree(level) => {
+                let idx = (line_addr - self.layout.tree_level_base(level)) / LINE;
+                if level + 1 == self.layout.tree_depth() {
+                    Parent::Root(idx as usize)
+                } else {
+                    Parent::Node {
+                        addr: self.layout.tree_node_addr(level + 1, idx / 8),
+                        slot: (idx % 8) as usize,
+                    }
+                }
+            }
+            other => unreachable!("parent_of called on {other:?} line {line_addr:#x}"),
+        }
+    }
+
+    /// Root-counter index guarding the chain of `ctr_addr`.
+    fn root_index(&self, ctr_addr: u64) -> usize {
+        let mut addr = ctr_addr;
+        loop {
+            match self.parent_of(addr) {
+                Parent::Root(i) => return i,
+                Parent::Node { addr: parent, .. } => addr = parent,
+            }
+        }
+    }
+
+    /// The write-update chain from the top in-memory node down to the
+    /// counter line, as `(line_addr, child_slot_to_bump)` pairs. The final
+    /// entry is the counter line with the data line's slot.
+    fn chain_top_down(&self, data_addr: u64) -> Vec<(u64, usize)> {
+        let ctr_addr = self.layout.counter_line_addr(data_addr);
+        let mut chain = vec![(ctr_addr, self.layout.counter_slot(data_addr))];
+        let mut addr = ctr_addr;
+        loop {
+            match self.parent_of(addr) {
+                Parent::Root(_) => break,
+                Parent::Node { addr: parent, slot } => {
+                    chain.push((parent, slot));
+                    addr = parent;
+                }
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Materializes the consistent zero-state of an untouched line.
+    fn ensure_line(&mut self, line_addr: u64) {
+        if self.lines.contains_key(&line_addr) {
+            return;
+        }
+        let stored = match self.layout.classify(line_addr) {
+            Region::Data => {
+                // Never-written data: plaintext zero, counter zero.
+                let ciphertext = self.cipher.encrypt(line_addr, 0, &CacheLine::zeroed());
+                let mac = self.gmac.line_tag(line_addr, 0, &ciphertext);
+                StoredLine::from_data(&ciphertext, mac)
+            }
+            Region::Counter | Region::Tree(_) => {
+                // All-zero counters, MAC keyed by the (necessarily zero)
+                // parent counter.
+                let mac = self.gmac.node_tag(line_addr, 0, &pack_counters(&[0; 8]));
+                StoredLine::from_counters(&[0; 8], mac)
+            }
+            Region::Parity => {
+                // Slots derived from the current (possibly zero-state)
+                // contents of the 8 covered data lines.
+                let first_data =
+                    (line_addr - self.layout.parity_base()) / LINE * 8 * LINE;
+                let mut slots = [[0u8; 8]; 8];
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    let d = first_data + i as u64 * LINE;
+                    if d < self.layout.data_bytes() {
+                        self.ensure_line(d);
+                        *slot = self.lines[&d].xor_of_nine();
+                    }
+                }
+                StoredLine::from_parities(&slots)
+            }
+            Region::Mac | Region::OutOfRange => {
+                unreachable!("SYNERGY stores no separate MAC region; addr {line_addr:#x}")
+            }
+        };
+        self.lines.insert(line_addr, stored);
+    }
+}
+
+/// Packs eight counters into the 64-byte MAC payload.
+fn pack_counters(counters: &[u64; 8]) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    for (i, c) in counters.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&(c & MASK56).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = 1 << 16; // 64 KiB: 1024 data lines, 128 counter lines
+
+    fn mem() -> SynergyMemory {
+        SynergyMemory::new(SynergyMemoryConfig::with_capacity(CAP)).unwrap()
+    }
+
+    fn line(fill: u8) -> CacheLine {
+        CacheLine::from_bytes([fill; 64])
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = mem();
+        for i in 0..32u64 {
+            m.write_line(i * 64, &line(i as u8)).unwrap();
+        }
+        for i in 0..32u64 {
+            let out = m.read_line(i * 64).unwrap();
+            assert_eq!(out.data, line(i as u8));
+            assert!(!out.corrected);
+            assert!(out.mac_computations >= 1);
+        }
+    }
+
+    #[test]
+    fn unwritten_lines_read_as_zero() {
+        let mut m = mem();
+        let out = m.read_line(0x8000).unwrap();
+        assert_eq!(out.data, CacheLine::zeroed());
+        assert!(!out.corrected);
+    }
+
+    #[test]
+    fn overwrites_bump_counters_and_stay_readable() {
+        let mut m = mem();
+        for round in 0..20u8 {
+            m.write_line(0, &line(round)).unwrap();
+            assert_eq!(m.read_line(0).unwrap().data, line(round));
+        }
+    }
+
+    #[test]
+    fn address_validation() {
+        let mut m = mem();
+        assert!(matches!(m.read_line(13), Err(MemoryError::Misaligned { .. })));
+        assert!(matches!(m.read_line(CAP), Err(MemoryError::OutOfRange { .. })));
+        assert!(matches!(
+            m.write_line(CAP + 64, &line(0)),
+            Err(MemoryError::OutOfRange { .. })
+        ));
+        assert!(SynergyMemory::new(SynergyMemoryConfig::with_capacity(100)).is_err());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_varies_per_write() {
+        let mut m = mem();
+        m.write_line(0, &line(0x77)).unwrap();
+        let first = m.snapshot_raw(0);
+        let (ct1, _) = first.data_parts();
+        assert_ne!(ct1, line(0x77), "data must be encrypted at rest");
+        m.write_line(0, &line(0x77)).unwrap();
+        let (ct2, _) = m.snapshot_raw(0).data_parts();
+        assert_ne!(ct1, ct2, "counter bump must change the ciphertext");
+    }
+
+    #[test]
+    fn corrects_every_single_chip_error_on_data_lines() {
+        for chip in 0..9 {
+            let mut m = mem();
+            m.write_line(0x400, &line(0xCD)).unwrap();
+            m.inject_chip_error(0x400, chip);
+            let out = m.read_line(0x400).unwrap();
+            assert_eq!(out.data, line(0xCD), "chip {chip}");
+            assert!(out.corrected, "chip {chip}");
+            assert_eq!(m.stats().corrections, 1);
+            assert_eq!(m.stats().per_chip_corrections[chip], 1);
+            // Scrubbed: the next read is clean and cheap.
+            let again = m.read_line(0x400).unwrap();
+            assert!(!again.corrected, "chip {chip} must be scrubbed");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_is_corrected() {
+        let mut m = mem();
+        m.write_line(0, &line(1)).unwrap();
+        m.inject_bit_flip(0, 3, 17);
+        let out = m.read_line(0).unwrap();
+        assert_eq!(out.data, line(1));
+        assert!(out.corrected);
+    }
+
+    #[test]
+    fn two_chip_error_declares_attack() {
+        let mut m = mem();
+        m.write_line(0, &line(9)).unwrap();
+        m.inject_chip_error(0, 2);
+        m.inject_chip_error(0, 6);
+        assert!(matches!(m.read_line(0), Err(MemoryError::AttackDetected { .. })));
+        assert_eq!(m.stats().attacks_declared, 1);
+    }
+
+    #[test]
+    fn counter_line_chip_error_is_corrected() {
+        let mut m = mem();
+        m.write_line(0, &line(5)).unwrap();
+        let ctr_addr = m.layout().counter_line_addr(0);
+        m.inject_chip_error(ctr_addr, 4);
+        let out = m.read_line(0).unwrap();
+        assert_eq!(out.data, line(5));
+        // The correction happened on the counter line, before data verify.
+        assert_eq!(m.stats().corrections, 1);
+    }
+
+    #[test]
+    fn tree_node_chip_error_is_corrected() {
+        let mut m = mem();
+        assert!(m.layout().tree_depth() >= 1, "need an in-memory tree level");
+        m.write_line(0, &line(7)).unwrap();
+        let node = m.layout().tree_node_addr(0, 0);
+        m.inject_chip_error(node, 1);
+        let out = m.read_line(0).unwrap();
+        assert_eq!(out.data, line(7));
+        assert_eq!(m.stats().corrections, 1);
+    }
+
+    #[test]
+    fn data_and_parity_in_same_failed_chip_scenario_d() {
+        // Scenario D of Figure 7(c): the data line and its parity slot are
+        // both corrupted. ParityP rebuilds the parity, which rebuilds the
+        // data.
+        let mut m = mem();
+        m.write_line(0x200, &line(0xEE)).unwrap();
+        let p_addr = m.layout().parity_line_addr(0x200);
+        let p_slot = m.layout().parity_slot(0x200);
+        m.inject_chip_error(0x200, 3);
+        // Corrupt exactly the parity slot protecting our line.
+        m.inject_chip_pattern(p_addr, p_slot, [0x3C; 8]);
+        let out = m.read_line(0x200).unwrap();
+        assert_eq!(out.data, line(0xEE));
+        assert!(out.corrected);
+        assert_eq!(m.stats().parity_reconstructions, 1);
+        assert!(out.mac_computations > 9, "needed the second parity pass");
+    }
+
+    #[test]
+    fn whole_chip_failure_everything_still_readable() {
+        // The headline claim: any 1 of 9 chips can die entirely.
+        for chip in [0, 4, 8] {
+            let mut m = mem();
+            for i in 0..64u64 {
+                m.write_line(i * 64, &line(i as u8)).unwrap();
+            }
+            m.inject_chip_failure(chip);
+            for i in 0..64u64 {
+                let out = m.read_line(i * 64).unwrap();
+                assert_eq!(out.data, line(i as u8), "chip {chip}, line {i}");
+            }
+            assert!(m.stats().corrections > 0);
+        }
+    }
+
+    #[test]
+    fn fault_tracking_kicks_in_and_shortens_correction() {
+        let mut m = SynergyMemory::new(SynergyMemoryConfig {
+            fault_tracking_threshold: Some(4),
+            ..SynergyMemoryConfig::with_capacity(CAP)
+        })
+        .unwrap();
+        for i in 0..16u64 {
+            m.write_line(i * 64, &line(3)).unwrap();
+        }
+        // Chip 6 keeps failing.
+        for i in 0..8u64 {
+            m.inject_chip_error(i * 64, 6);
+            let _ = m.read_line(i * 64).unwrap();
+        }
+        assert_eq!(m.tracked_faulty_chip(), Some(6));
+        // Now an error on chip 6 is fixed with ~1 data MAC computation
+        // (plus the counter-chain verifies).
+        m.inject_chip_error(8 * 64, 6);
+        let out = m.read_line(8 * 64).unwrap();
+        assert!(out.corrected);
+        assert!(m.stats().preemptive_corrections >= 1);
+        let chain_macs = 1 + m.layout().tree_depth() as u32;
+        assert_eq!(out.mac_computations, chain_macs + 1, "fast path is 1 data MAC");
+    }
+
+    #[test]
+    fn replay_of_stale_data_is_detected() {
+        let mut m = mem();
+        m.write_line(0, &line(1)).unwrap();
+        let stale = m.snapshot_raw(0); // adversary records {data, MAC}
+        m.write_line(0, &line(2)).unwrap();
+        m.overwrite_raw(0, stale); // and replays it later
+        // The stale tuple verifies against the *old* counter only; the
+        // counter has moved on, so every correction attempt fails.
+        assert!(matches!(m.read_line(0), Err(MemoryError::AttackDetected { .. })));
+    }
+
+    #[test]
+    fn replay_of_counter_and_data_together_is_detected_by_tree() {
+        let mut m = mem();
+        m.write_line(0, &line(1)).unwrap();
+        let ctr_addr = m.layout().counter_line_addr(0);
+        let stale_data = m.snapshot_raw(0);
+        let stale_ctr = m.snapshot_raw(ctr_addr);
+        m.write_line(0, &line(2)).unwrap();
+        // Replay the whole {data, MAC, counter} tuple (§II-A4's attack).
+        m.overwrite_raw(0, stale_data);
+        m.overwrite_raw(ctr_addr, stale_ctr);
+        // The counter line's MAC is keyed by the parent tree counter,
+        // which advanced — the tree catches the replay.
+        assert!(matches!(m.read_line(0), Err(MemoryError::AttackDetected { .. })));
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_detected_or_corrected_never_silent() {
+        let mut m = mem();
+        m.write_line(0, &line(0x5A)).unwrap();
+        let mut raw = m.snapshot_raw(0);
+        raw.corrupt_chip(0, [1, 0, 0, 0, 0, 0, 0, 0]);
+        m.overwrite_raw(0, raw);
+        // A single-chip modification is indistinguishable from an error:
+        // SYNERGY corrects it back to the authentic data (never returns
+        // the tampered value).
+        let out = m.read_line(0).unwrap();
+        assert_eq!(out.data, line(0x5A));
+        assert!(out.corrected);
+    }
+
+    #[test]
+    fn tampered_parity_alone_is_harmless_and_cannot_forge() {
+        // §IV-B: parity is unprotected, but a tampered parity is only used
+        // under a MAC mismatch, where it fails to produce a verifying line.
+        let mut m = mem();
+        m.write_line(0, &line(0x11)).unwrap();
+        let p_addr = m.layout().parity_line_addr(0);
+        m.inject_chip_error(p_addr, m.layout().parity_slot(0));
+        // Clean read: parity never consulted.
+        assert_eq!(m.read_line(0).unwrap().data, line(0x11));
+        // Now the data also breaks: primary parity is wrong, but ParityP
+        // rebuilds the true parity and correction still succeeds.
+        m.inject_chip_error(0, 2);
+        let out = m.read_line(0).unwrap();
+        assert_eq!(out.data, line(0x11));
+        assert!(out.corrected);
+    }
+
+    #[test]
+    fn mac_computation_counts_match_paper_bounds() {
+        // Clean read: 1 data MAC + one per tree chain level.
+        let mut m = mem();
+        m.write_line(0, &line(1)).unwrap();
+        let chain = 1 + m.layout().tree_depth() as u32;
+        let out = m.read_line(0).unwrap();
+        assert_eq!(out.mac_computations, chain + 1);
+
+        // Worst single-chip data error: ≤ chain + 1 (clean attempt) + 9
+        // (first parity pass); Scenario D adds ≤ 9 more — within the
+        // paper's "up to 16 MAC re-computations" for the data line plus
+        // the chain.
+        m.inject_chip_error(0, 0);
+        let out = m.read_line(0).unwrap();
+        assert!(out.corrected);
+        assert!(out.mac_computations <= chain + 1 + 18);
+    }
+
+    #[test]
+    fn writes_propagate_to_root_so_siblings_unaffected() {
+        let mut m = mem();
+        m.write_line(0, &line(1)).unwrap();
+        // A sibling data line under the same counter line still reads fine
+        // after its neighbour was rewritten many times.
+        for _ in 0..10 {
+            m.write_line(64, &line(2)).unwrap();
+        }
+        assert_eq!(m.read_line(0).unwrap().data, line(1));
+        assert_eq!(m.read_line(64).unwrap().data, line(2));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = mem();
+        m.write_line(0, &line(1)).unwrap();
+        let _ = m.read_line(0).unwrap();
+        assert_eq!(m.stats().reads, 1);
+        assert_eq!(m.stats().writes, 1);
+        assert!(m.stats().mac_computations > 2);
+        assert_eq!(m.stats().attacks_declared, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! GHASH — the GF(2^128) universal hash underlying AES-GCM / GMAC.
+//!
+//! GHASH is defined in NIST SP 800-38D. The field uses the "reflected"
+//! bit ordering of the GCM specification: within a 128-bit block, bit 0 is
+//! the most-significant bit of the first byte, and the reduction polynomial
+//! is x^128 + x^7 + x^2 + x + 1 (represented by the constant `R` below).
+
+/// The GCM reduction constant: x^128 ≡ x^7 + x^2 + x + 1, in the GCM bit
+/// order this is the byte 0xE1 followed by fifteen zero bytes.
+const R: u128 = 0xe1 << 120;
+
+/// Multiplies two elements of GF(2^128) in the GCM bit ordering.
+///
+/// This is the school-book shift-and-add algorithm from SP 800-38D
+/// §6.3 — adequate for a simulation substrate.
+pub fn gf128_mul(x: u128, y: u128) -> u128 {
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+/// Computes GHASH over a sequence of complete 16-byte blocks.
+///
+/// `Y_0 = 0; Y_i = (Y_{i-1} XOR X_i) * H` and the result is `Y_n`.
+pub fn ghash_blocks(h: u128, blocks: impl IntoIterator<Item = u128>) -> u128 {
+    let mut y = 0u128;
+    for x in blocks {
+        y = gf128_mul(y ^ x, h);
+    }
+    y
+}
+
+/// Computes the full GCM-style GHASH over additional authenticated data and
+/// ciphertext: both are zero-padded to 16-byte boundaries, then a final
+/// length block `len(aad) || len(data)` (bit lengths, big-endian) is mixed in.
+pub fn ghash(h: u128, aad: &[u8], data: &[u8]) -> u128 {
+    let mut y = 0u128;
+    let mut absorb = |bytes: &[u8]| {
+        for chunk in bytes.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            y = gf128_mul(y ^ u128::from_be_bytes(block), h);
+        }
+    };
+    absorb(aad);
+    absorb(data);
+    let len_block = ((aad.len() as u128 * 8) << 64) | (data.len() as u128 * 8);
+    gf128_mul(y ^ len_block, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_identity_element() {
+        // The multiplicative identity in GCM bit order is 0x80...0 (the
+        // polynomial "1" has its coefficient in the top bit).
+        let one: u128 = 1 << 127;
+        for x in [0u128, 1, one, u128::MAX, 0xdeadbeef << 64] {
+            assert_eq!(gf128_mul(x, one), x);
+            assert_eq!(gf128_mul(one, x), x);
+        }
+    }
+
+    #[test]
+    fn mul_commutative_and_distributive() {
+        let samples = [
+            0x0123456789abcdef_fedcba9876543210u128,
+            0xaaaaaaaaaaaaaaaa_5555555555555555,
+            1u128,
+            1u128 << 127,
+            0x66e94bd4ef8a2c3b_884cfa59ca342b2e,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(gf128_mul(a, b), gf128_mul(b, a));
+                for &c in &samples {
+                    assert_eq!(
+                        gf128_mul(a, b ^ c),
+                        gf128_mul(a, b) ^ gf128_mul(a, c),
+                        "distributivity failed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        assert_eq!(gf128_mul(0, u128::MAX), 0);
+        assert_eq!(gf128_mul(u128::MAX, 0), 0);
+    }
+
+    #[test]
+    fn ghash_gcm_spec_test_case_2() {
+        // GCM spec test case 2: H = AES_0(0), C = 0388dace60b6a392f328c2b971b2fe78.
+        // GHASH(H, {}, C) is the value that, XORed with E_K(J0), yields the
+        // published tag ab6e47d42cec13bdf53a67b21257bddf. E_K(J0) with
+        // J0 = 0^96 || 1 under the zero key is 58e2fccefa7e3061367f1d57a4e7455a.
+        let h = 0x66e94bd4ef8a2c3b_884cfa59ca342b2eu128;
+        let c = 0x0388dace60b6a392_f328c2b971b2fe78u128.to_be_bytes();
+        let g = ghash(h, &[], &c);
+        let ek_j0 = 0x58e2fccefa7e3061_367f1d57a4e7455au128;
+        let tag = g ^ ek_j0;
+        assert_eq!(tag, 0xab6e47d42cec13bd_f53a67b21257bddf);
+    }
+
+    #[test]
+    fn ghash_padding_distinguishes_lengths() {
+        // Zero-padding alone would alias [1] and [1,0]; the length block
+        // must disambiguate them.
+        let h = 0x12345_6789abcdefu128 | (1 << 127);
+        assert_ne!(ghash(h, &[], &[1]), ghash(h, &[], &[1, 0]));
+        assert_ne!(ghash(h, &[1], &[]), ghash(h, &[], &[1]));
+    }
+
+    #[test]
+    fn ghash_blocks_agrees_with_ghash_for_block_multiple() {
+        let h = 0xdeadbeefcafef00d_0123456789abcdefu128;
+        let data: Vec<u8> = (0u8..32).collect();
+        let blocks = data
+            .chunks_exact(16)
+            .map(|c| u128::from_be_bytes(c.try_into().unwrap()));
+        let via_blocks = ghash_blocks(h, blocks);
+        // ghash() additionally mixes the length block.
+        let len_block = (32u128) * 8;
+        assert_eq!(ghash(h, &[], &data), gf128_mul(via_blocks ^ len_block, h));
+    }
+}

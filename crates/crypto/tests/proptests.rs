@@ -1,0 +1,114 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+use synergy_crypto::ctr::LineCipher;
+use synergy_crypto::cw_mac::{gf64_mul, CarterWegmanMac};
+use synergy_crypto::ghash::gf128_mul;
+use synergy_crypto::gmac::Gmac;
+use synergy_crypto::{Aes128, CacheLine, EncryptionKey, MacKey};
+
+proptest! {
+    /// AES decryption inverts encryption for arbitrary keys and blocks.
+    #[test]
+    fn aes_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    /// AES is a permutation: distinct plaintexts give distinct ciphertexts.
+    #[test]
+    fn aes_injective(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&key);
+        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    }
+
+    /// GF(2^128) multiplication is commutative and distributes over XOR.
+    #[test]
+    fn gf128_field_laws(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        prop_assert_eq!(gf128_mul(a, b), gf128_mul(b, a));
+        prop_assert_eq!(gf128_mul(a, b ^ c), gf128_mul(a, b) ^ gf128_mul(a, c));
+    }
+
+    /// GF(2^64) multiplication is commutative and distributes over XOR.
+    #[test]
+    fn gf64_field_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(gf64_mul(a, b), gf64_mul(b, a));
+        prop_assert_eq!(gf64_mul(a, b ^ c), gf64_mul(a, b) ^ gf64_mul(a, c));
+    }
+
+    /// CTR-mode encryption round-trips for arbitrary lines, addresses and
+    /// counters.
+    #[test]
+    fn ctr_roundtrip(
+        key in any::<[u8; 16]>(),
+        line in any::<[u8; 64]>(),
+        addr in any::<u64>(),
+        counter in 0u64..(1 << 56),
+    ) {
+        let cipher = LineCipher::new(&EncryptionKey::from_bytes(key));
+        let pt = CacheLine::from_bytes(line);
+        let ct = cipher.encrypt(addr, counter, &pt);
+        prop_assert_eq!(cipher.decrypt(addr, counter, &ct), pt);
+    }
+
+    /// A GMAC verifies under its inputs and fails under any corruption of
+    /// the line, address or counter.
+    #[test]
+    fn gmac_detects_changes(
+        key in any::<[u8; 16]>(),
+        line in any::<[u8; 64]>(),
+        addr in any::<u64>(),
+        counter in 0u64..(1 << 56),
+        bit in 0usize..512,
+    ) {
+        let gmac = Gmac::new(&MacKey::from_bytes(key));
+        let l = CacheLine::from_bytes(line);
+        let tag = gmac.line_tag(addr, counter, &l);
+        prop_assert!(gmac.verify_line(addr, counter, &l, tag));
+        prop_assert!(!gmac.verify_line(addr, counter, &l.with_bit_flipped(bit), tag));
+        prop_assert!(!gmac.verify_line(addr ^ 0x40, counter, &l, tag));
+        prop_assert!(!gmac.verify_line(addr, counter + 1, &l, tag));
+    }
+
+    /// The Carter–Wegman MAC has the same detection property at 56 bits.
+    #[test]
+    fn cw_mac_detects_changes(
+        key in any::<[u8; 16]>(),
+        line in any::<[u8; 64]>(),
+        addr in any::<u64>(),
+        counter in any::<u64>(),
+        bit in 0usize..512,
+    ) {
+        let mac = CarterWegmanMac::new(&MacKey::from_bytes(key));
+        let l = CacheLine::from_bytes(line);
+        let tag = mac.line_tag(addr, counter, &l);
+        prop_assert!(tag < (1 << 56));
+        prop_assert!(mac.verify_line(addr, counter, &l, tag));
+        prop_assert!(!mac.verify_line(addr, counter, &l.with_bit_flipped(bit), tag));
+    }
+
+    /// XOR on cachelines is associative, commutative and self-inverse —
+    /// the algebra the RAID-3 parity relies on.
+    #[test]
+    fn line_xor_algebra(a in any::<[u8; 64]>(), b in any::<[u8; 64]>(), c in any::<[u8; 64]>()) {
+        let (a, b, c) =
+            (CacheLine::from_bytes(a), CacheLine::from_bytes(b), CacheLine::from_bytes(c));
+        prop_assert_eq!(a.xor(&b), b.xor(&a));
+        prop_assert_eq!(a.xor(&b).xor(&c), a.xor(&b.xor(&c)));
+        prop_assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    /// Word/byte views of a cacheline are consistent.
+    #[test]
+    fn line_views_roundtrip(words in any::<[u64; 8]>()) {
+        let line = CacheLine::from_words(words);
+        prop_assert_eq!(line.to_words(), words);
+        for chip in 0..8 {
+            prop_assert_eq!(
+                u64::from_le_bytes(line.chip_slice(chip)),
+                words[chip]
+            );
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Per-channel DRAM state: banks, ranks, queues and the FR-FCFS scheduler.
+//!
+//! Scheduling policy (the USIMM baseline scheduler):
+//!
+//! * Reads have priority; writes buffer in a write queue and drain in
+//!   batches between a high and a low watermark (posted writes).
+//! * FR-FCFS: among the serviced queue, ready row-hit column commands issue
+//!   first (oldest first); otherwise the oldest request's precharge or
+//!   activate issues, provided no younger request still wants the open row.
+//! * One command per channel per cycle; all DDR3 bank/rank/bus timing
+//!   constraints (tRCD/tRP/tRAS/tRC/tCCD/tRRD/tFAW/tWR/tWTR/tRTP/refresh and
+//!   data-bus occupancy with direction-switch penalties) are enforced.
+
+use std::collections::VecDeque;
+
+use crate::config::{DramConfig, TimingParams};
+use crate::mapping::DramLocation;
+use crate::request::{AccessKind, Completion, Request};
+use crate::stats::DramStats;
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_act: u64,
+    ready_col: u64,
+    ready_pre: u64,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Self { open_row: None, ready_act: 0, ready_col: 0, ready_pre: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Rank {
+    /// ACT timestamps inside the rolling tFAW window.
+    act_window: VecDeque<u64>,
+    last_act: u64,
+    next_refresh: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    req: Request,
+    loc: DramLocation,
+    enqueue_cycle: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingCompletion {
+    at: u64,
+    id: u64,
+    addr: u64,
+    class: crate::request::RequestClass,
+    latency: u64,
+}
+
+/// One DRAM channel with its queues and device state.
+#[derive(Debug, Clone)]
+pub(crate) struct Channel {
+    banks: Vec<Vec<Bank>>,
+    ranks: Vec<Rank>,
+    read_q: VecDeque<Queued>,
+    write_q: VecDeque<Queued>,
+    pending: Vec<PendingCompletion>,
+    draining: bool,
+    bus_free_at: u64,
+    last_bus_op: Option<AccessKind>,
+}
+
+impl Channel {
+    pub(crate) fn new(cfg: &DramConfig) -> Self {
+        let banks = (0..cfg.ranks_per_channel)
+            .map(|_| (0..cfg.banks_per_rank).map(|_| Bank::new()).collect())
+            .collect();
+        let ranks = (0..cfg.ranks_per_channel)
+            .map(|_| Rank {
+                act_window: VecDeque::new(),
+                last_act: 0,
+                next_refresh: cfg.timing.t_refi,
+            })
+            .collect();
+        Self {
+            banks,
+            ranks,
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            pending: Vec::new(),
+            draining: false,
+            bus_free_at: 0,
+            last_bus_op: None,
+        }
+    }
+
+    pub(crate) fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    pub(crate) fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.read_q.len() + self.write_q.len() + self.pending.len()
+    }
+
+    pub(crate) fn enqueue(&mut self, req: Request, loc: DramLocation, cycle: u64) {
+        let q = Queued { req, loc, enqueue_cycle: cycle };
+        match req.kind {
+            AccessKind::Read => self.read_q.push_back(q),
+            AccessKind::Write => self.write_q.push_back(q),
+        }
+    }
+
+    /// Advances one memory cycle: retires finished reads, handles refresh,
+    /// and issues at most one DRAM command.
+    pub(crate) fn tick(
+        &mut self,
+        cycle: u64,
+        cfg: &DramConfig,
+        completions: &mut Vec<Completion>,
+        stats: &mut DramStats,
+    ) {
+        // Retire data arriving this cycle.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].at <= cycle {
+                let p = self.pending.swap_remove(i);
+                completions.push(Completion {
+                    id: p.id,
+                    addr: p.addr,
+                    class: p.class,
+                    latency: p.latency,
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        self.handle_refresh(cycle, &cfg.timing, stats);
+        self.update_drain_mode(cfg);
+        self.issue_one_command(cycle, &cfg.timing, stats);
+    }
+
+    fn handle_refresh(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats) {
+        if t.t_refi == 0 {
+            return;
+        }
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            if cycle >= rank.next_refresh {
+                // Close all rows and lock the rank for tRFC.
+                for bank in &mut self.banks[r] {
+                    bank.open_row = None;
+                    bank.ready_act = bank.ready_act.max(cycle + t.t_rfc);
+                }
+                rank.next_refresh += t.t_refi;
+                stats.refreshes += 1;
+            }
+        }
+    }
+
+    fn update_drain_mode(&mut self, cfg: &DramConfig) {
+        if self.write_q.len() >= cfg.write_hi_watermark {
+            self.draining = true;
+        } else if self.write_q.len() <= cfg.write_lo_watermark {
+            self.draining = false;
+        }
+    }
+
+    fn issue_one_command(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats) {
+        // Service order: the drained queue first, then the other when the
+        // primary can make no progress this cycle. The fallback matters
+        // beyond opportunism: a queued write that row-hits an open row
+        // blocks the precharge a queued read needs (row-hit friendliness),
+        // so the write must be allowed to issue or the pair deadlocks
+        // until a refresh closes the row.
+        let primary = if self.draining || self.read_q.is_empty() {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let secondary = match primary {
+            AccessKind::Read => AccessKind::Write,
+            AccessKind::Write => AccessKind::Read,
+        };
+        if !self.try_issue_for_queue(cycle, t, stats, primary) {
+            self.try_issue_for_queue(cycle, t, stats, secondary);
+        }
+    }
+
+    fn queue(&self, kind: AccessKind) -> &VecDeque<Queued> {
+        match kind {
+            AccessKind::Read => &self.read_q,
+            AccessKind::Write => &self.write_q,
+        }
+    }
+
+    /// Attempts to issue one command on behalf of `kind`'s queue.
+    /// Returns true if a command was issued.
+    fn try_issue_for_queue(
+        &mut self,
+        cycle: u64,
+        t: &TimingParams,
+        stats: &mut DramStats,
+        kind: AccessKind,
+    ) -> bool {
+        // Pass 1 — FR: oldest request whose column command is ready now.
+        let col_candidate = self
+            .queue(kind)
+            .iter()
+            .enumerate()
+            .find(|(_, q)| self.col_command_ready(cycle, t, q, kind))
+            .map(|(i, _)| i);
+        if let Some(idx) = col_candidate {
+            self.issue_col_command(cycle, t, stats, kind, idx);
+            return true;
+        }
+
+        // Pass 2 — FCFS: oldest requests' row commands (ACT or PRE).
+        let row_candidate = self.queue(kind).iter().enumerate().find_map(|(i, q)| {
+            let bank = &self.banks[q.loc.rank][q.loc.bank];
+            match bank.open_row {
+                Some(row) if row == q.loc.row => None, // waiting on tCCD/bus only
+                Some(_) => {
+                    // Precharge, but not while an older request in either
+                    // queue still hits the open row (row-hit friendliness).
+                    if cycle >= bank.ready_pre && !self.row_has_waiting_hit(q.loc) {
+                        Some((i, false))
+                    } else {
+                        None
+                    }
+                }
+                None => {
+                    if self.act_allowed(cycle, t, q.loc) {
+                        Some((i, true))
+                    } else {
+                        None
+                    }
+                }
+            }
+        });
+        if let Some((idx, is_act)) = row_candidate {
+            let loc = self.queue(kind)[idx].loc;
+            if is_act {
+                self.issue_act(cycle, t, stats, loc);
+            } else {
+                self.issue_pre(cycle, t, stats, loc);
+            }
+            return true;
+        }
+        false
+    }
+
+    fn row_has_waiting_hit(&self, loc: DramLocation) -> bool {
+        let open = match self.banks[loc.rank][loc.bank].open_row {
+            Some(r) => r,
+            None => return false,
+        };
+        self.read_q
+            .iter()
+            .chain(self.write_q.iter())
+            .any(|q| q.loc.rank == loc.rank && q.loc.bank == loc.bank && q.loc.row == open)
+    }
+
+    fn col_command_ready(&self, cycle: u64, t: &TimingParams, q: &Queued, kind: AccessKind) -> bool {
+        let bank = &self.banks[q.loc.rank][q.loc.bank];
+        if bank.open_row != Some(q.loc.row) || cycle < bank.ready_col {
+            return false;
+        }
+        let data_start = match kind {
+            AccessKind::Read => cycle + t.t_cas,
+            AccessKind::Write => cycle + t.t_cwd,
+        };
+        let mut bus_ready = self.bus_free_at;
+        if let Some(last) = self.last_bus_op {
+            if last != kind {
+                bus_ready += t.t_turnaround;
+                if last == AccessKind::Write && kind == AccessKind::Read {
+                    bus_ready += t.t_wtr;
+                }
+            }
+        }
+        data_start >= bus_ready
+    }
+
+    fn act_allowed(&self, cycle: u64, t: &TimingParams, loc: DramLocation) -> bool {
+        let bank = &self.banks[loc.rank][loc.bank];
+        if cycle < bank.ready_act {
+            return false;
+        }
+        let rank = &self.ranks[loc.rank];
+        if rank.last_act != 0 && cycle < rank.last_act + t.t_rrd {
+            return false;
+        }
+        let in_window = rank
+            .act_window
+            .iter()
+            .filter(|&&at| at + t.t_faw > cycle)
+            .count();
+        in_window < 4
+    }
+
+    fn issue_act(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats, loc: DramLocation) {
+        let bank = &mut self.banks[loc.rank][loc.bank];
+        bank.open_row = Some(loc.row);
+        bank.ready_col = cycle + t.t_rcd;
+        bank.ready_pre = bank.ready_pre.max(cycle + t.t_ras);
+        bank.ready_act = cycle + t.t_rc;
+        let rank = &mut self.ranks[loc.rank];
+        rank.last_act = cycle;
+        rank.act_window.push_back(cycle);
+        while rank.act_window.len() > 4 {
+            rank.act_window.pop_front();
+        }
+        stats.activates += 1;
+    }
+
+    fn issue_pre(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats, loc: DramLocation) {
+        let bank = &mut self.banks[loc.rank][loc.bank];
+        // PRE issues now; `cycle >= ready_pre` was checked by the caller.
+        bank.open_row = None;
+        bank.ready_act = bank.ready_act.max(cycle + t.t_rp);
+        stats.precharges += 1;
+    }
+
+    fn issue_col_command(
+        &mut self,
+        cycle: u64,
+        t: &TimingParams,
+        stats: &mut DramStats,
+        kind: AccessKind,
+        idx: usize,
+    ) {
+        let q = match kind {
+            AccessKind::Read => self.read_q.remove(idx),
+            AccessKind::Write => self.write_q.remove(idx),
+        }
+        .expect("candidate index valid");
+        let bank = &mut self.banks[q.loc.rank][q.loc.bank];
+        bank.ready_col = cycle + t.t_ccd;
+
+        let class_idx = q.req.class.index();
+        match kind {
+            AccessKind::Read => {
+                let done = cycle + t.t_cas + t.t_burst;
+                bank.ready_pre = bank.ready_pre.max(cycle + t.t_rtp);
+                self.bus_free_at = done;
+                self.pending.push(PendingCompletion {
+                    at: done,
+                    id: q.req.id,
+                    addr: q.req.addr,
+                    class: q.req.class,
+                    latency: done - q.enqueue_cycle,
+                });
+                stats.reads_by_class[class_idx] += 1;
+                stats.read_latency_sum += done - q.enqueue_cycle;
+                stats.read_count += 1;
+            }
+            AccessKind::Write => {
+                let data_end = cycle + t.t_cwd + t.t_burst;
+                bank.ready_pre = bank.ready_pre.max(data_end + t.t_wr);
+                self.bus_free_at = data_end;
+                stats.writes_by_class[class_idx] += 1;
+            }
+        }
+        stats.bursts += 1;
+        stats.busy_cycles += t.t_burst;
+        self.last_bus_op = Some(kind);
+    }
+}

@@ -1,0 +1,110 @@
+//! Memory requests, completions and traffic classification.
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read (fill) — the requester waits for the data.
+    Read,
+    /// A write (writeback) — posted; no one waits on it.
+    Write,
+}
+
+/// What the access carries — the paper's Figure 9 traffic breakdown.
+///
+/// `Data` is program traffic; the rest are the "bloat" categories:
+/// security bloat (counters, tree nodes, MACs) and reliability bloat
+/// (parity updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Program data.
+    Data,
+    /// Encryption counters.
+    Counter,
+    /// Integrity-tree nodes (counter-tree or MAC-tree levels).
+    TreeNode,
+    /// Message authentication codes fetched/stored separately from data.
+    Mac,
+    /// RAID-3 parity lines (SYNERGY / IVEC reliability traffic).
+    Parity,
+}
+
+impl RequestClass {
+    /// All classes, in Figure 9's presentation order.
+    pub const ALL: [RequestClass; 5] = [
+        RequestClass::Data,
+        RequestClass::Counter,
+        RequestClass::TreeNode,
+        RequestClass::Mac,
+        RequestClass::Parity,
+    ];
+
+    /// Stable index for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RequestClass::Data => 0,
+            RequestClass::Counter => 1,
+            RequestClass::TreeNode => 2,
+            RequestClass::Mac => 3,
+            RequestClass::Parity => 4,
+        }
+    }
+}
+
+impl core::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            RequestClass::Data => "data",
+            RequestClass::Counter => "counter",
+            RequestClass::TreeNode => "tree",
+            RequestClass::Mac => "mac",
+            RequestClass::Parity => "parity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory request presented to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-assigned identifier, echoed in the completion.
+    pub id: u64,
+    /// Physical byte address.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Traffic class for the Figure 9 breakdown.
+    pub class: RequestClass,
+    /// Issuing core (for fairness stats; not used by the scheduler).
+    pub core: usize,
+}
+
+/// A finished read returned to the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's identifier.
+    pub id: u64,
+    /// The request's address.
+    pub addr: u64,
+    /// Traffic class.
+    pub class: RequestClass,
+    /// Total latency in memory-bus cycles (enqueue to data return).
+    pub latency: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_stable() {
+        for (i, c) in RequestClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(RequestClass::Data.to_string(), "data");
+        assert_eq!(RequestClass::Parity.to_string(), "parity");
+    }
+}

@@ -1,0 +1,120 @@
+//! DRAM traffic and event statistics — the raw material for the paper's
+//! Figure 9 (traffic breakdown) and Figure 10 (power/energy/EDP).
+
+use crate::request::RequestClass;
+
+/// Counters accumulated by the memory controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read bursts issued, per [`RequestClass`] index.
+    pub reads_by_class: [u64; 5],
+    /// Write bursts issued, per [`RequestClass`] index.
+    pub writes_by_class: [u64; 5],
+    /// Row activations.
+    pub activates: u64,
+    /// Precharges.
+    pub precharges: u64,
+    /// Refresh operations.
+    pub refreshes: u64,
+    /// Total data bursts (reads + writes).
+    pub bursts: u64,
+    /// Data-bus busy cycles (utilization numerator).
+    pub busy_cycles: u64,
+    /// Sum of read latencies in memory cycles.
+    pub read_latency_sum: u64,
+    /// Number of completed reads.
+    pub read_count: u64,
+}
+
+impl DramStats {
+    /// Total read bursts across classes.
+    pub fn total_reads(&self) -> u64 {
+        self.reads_by_class.iter().sum()
+    }
+
+    /// Total write bursts across classes.
+    pub fn total_writes(&self) -> u64 {
+        self.writes_by_class.iter().sum()
+    }
+
+    /// Total memory accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// Reads of one traffic class.
+    pub fn reads(&self, class: RequestClass) -> u64 {
+        self.reads_by_class[class.index()]
+    }
+
+    /// Writes of one traffic class.
+    pub fn writes(&self, class: RequestClass) -> u64 {
+        self.writes_by_class[class.index()]
+    }
+
+    /// Mean read latency in memory cycles (0 when no reads completed).
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.read_count == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.read_count as f64
+        }
+    }
+
+    /// Row-buffer hit rate approximation: column commands not preceded by a
+    /// fresh activation.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.bursts == 0 {
+            0.0
+        } else {
+            1.0 - (self.activates as f64 / self.bursts as f64).min(1.0)
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        for i in 0..5 {
+            self.reads_by_class[i] += other.reads_by_class[i];
+            self.writes_by_class[i] += other.writes_by_class[i];
+        }
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.bursts += other.bursts;
+        self.busy_cycles += other.busy_cycles;
+        self.read_latency_sum += other.read_latency_sum;
+        self.read_count += other.read_count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_classes() {
+        let mut s = DramStats::default();
+        s.reads_by_class = [10, 5, 3, 2, 0];
+        s.writes_by_class = [4, 1, 1, 0, 2];
+        assert_eq!(s.total_reads(), 20);
+        assert_eq!(s.total_writes(), 8);
+        assert_eq!(s.total_accesses(), 28);
+        assert_eq!(s.reads(RequestClass::Counter), 5);
+        assert_eq!(s.writes(RequestClass::Parity), 2);
+    }
+
+    #[test]
+    fn avg_latency_guards_divide_by_zero() {
+        let s = DramStats::default();
+        assert_eq!(s.avg_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DramStats { activates: 3, bursts: 7, ..Default::default() };
+        let b = DramStats { activates: 2, bursts: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.activates, 5);
+        assert_eq!(a.bursts, 8);
+    }
+}

@@ -1,0 +1,197 @@
+//! GF(2^8) arithmetic — the symbol field for Reed–Solomon Chipkill codes.
+//!
+//! Uses the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D) with
+//! generator α = 2, the conventional choice for RS codes over bytes.
+//! Log/antilog tables are built once at first use.
+
+/// The primitive polynomial 0x11D reduced to 8 bits (0x1D) after the x^8 term.
+const POLY: u16 = 0x11D;
+
+/// Precomputed exp/log tables for GF(2^8).
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate the table so exp[(a+b) mod 255] lookups need no modulo.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Adds two field elements (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics if `a == 0` (zero has no inverse).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no multiplicative inverse in GF(2^8)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Raises the generator α (=2) to the power `e`.
+#[inline]
+pub fn alpha_pow(e: usize) -> u8 {
+    tables().exp[e % 255]
+}
+
+/// Discrete log base α of a nonzero element.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+#[inline]
+pub fn log(a: u8) -> usize {
+    assert!(a != 0, "log of zero is undefined");
+    tables().log[a as usize] as usize
+}
+
+/// Raises `a` to the power `e`.
+pub fn pow(a: u8, e: usize) -> u8 {
+    if a == 0 {
+        return if e == 0 { 1 } else { 0 };
+    }
+    alpha_pow(log(a) * e % 255)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn mul_commutative() {
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_associative() {
+        for a in (1..=255u8).step_by(17) {
+            for b in (1..=255u8).step_by(23) {
+                for c in (1..=255u8).step_by(29) {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_over_add() {
+        for a in (0..=255u8).step_by(13) {
+            for b in (0..=255u8).step_by(19) {
+                for c in (0..=255u8).step_by(31) {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv({a})");
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in (0..=255u8).step_by(5) {
+            for b in (1..=255u8).step_by(7) {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_has_order_255() {
+        assert_eq!(alpha_pow(0), 1);
+        assert_eq!(alpha_pow(255), 1);
+        // No smaller power returns to 1 (α is primitive).
+        for e in 1..255 {
+            assert_ne!(alpha_pow(e), 1, "alpha^{e} == 1");
+        }
+    }
+
+    #[test]
+    fn log_inverts_alpha_pow() {
+        for e in 0..255 {
+            assert_eq!(log(alpha_pow(e)), e);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [1u8, 2, 3, 0x53, 0xFF] {
+            let mut acc = 1u8;
+            for e in 0..20 {
+                assert_eq!(pow(a, e), acc, "a={a}, e={e}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_zero_panics() {
+        inv(0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Quick calibration probe for the Figure 11 ratios.
+use synergy_faultsim::*;
+
+fn main() {
+    let model = FaultModel::sridharan();
+    let params = SimParams { devices: 20_000_000, ..Default::default() };
+    let secded = simulate(EccPolicy::Secded, &model, &params);
+    let chipkill = simulate(EccPolicy::Chipkill, &model, &params);
+    let synergy = simulate(EccPolicy::Synergy, &model, &params);
+    let ivec = simulate(EccPolicy::Ivec, &model, &params);
+    for (name, r) in [("SECDED", &secded), ("Chipkill", &chipkill), ("Synergy", &synergy), ("IVEC", &ivec)] {
+        println!("{name:10} p={:.3e} failures={} with_faults={}", r.failure_probability, r.failures, r.devices_with_faults);
+    }
+    println!("chipkill improvement over secded: {:.1}x", chipkill.improvement_over(&secded).recip().recip());
+    println!("secded/chipkill = {:.1}", secded.failure_probability / chipkill.failure_probability);
+    println!("secded/synergy  = {:.1}", secded.failure_probability / synergy.failure_probability);
+    println!("secded/ivec     = {:.1}", secded.failure_probability / ivec.failure_probability);
+    println!("chipkill/synergy= {:.1}", chipkill.failure_probability / synergy.failure_probability);
+}

@@ -1,0 +1,256 @@
+//! ECC-policy evaluation: does a set of faults defeat the correction scheme?
+
+use crate::fault::Fault;
+
+/// The reliability schemes compared in Figure 11 (plus IVEC from §VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccPolicy {
+    /// No correction: any fault is fatal (commodity non-ECC DIMM).
+    None,
+    /// (72,64) SECDED on a 9-chip ECC-DIMM.
+    Secded,
+    /// Symbol-based Chipkill over 18 chips (two lock-stepped ECC-DIMMs):
+    /// corrects 1 chip of 18.
+    Chipkill,
+    /// SYNERGY: MAC detection + RAID-3 parity, corrects 1 chip of 9.
+    Synergy,
+    /// IVEC on commodity x4 DIMMs: corrects 1 chip of 16.
+    Ivec,
+}
+
+impl EccPolicy {
+    /// Chips in one correction domain (the "device" of the Monte Carlo).
+    pub fn domain_chips(self) -> usize {
+        match self {
+            EccPolicy::None => 8,
+            EccPolicy::Secded | EccPolicy::Synergy => 9,
+            EccPolicy::Chipkill => 18,
+            EccPolicy::Ivec => 16,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EccPolicy::None => "No-ECC",
+            EccPolicy::Secded => "SECDED",
+            EccPolicy::Chipkill => "Chipkill",
+            EccPolicy::Synergy => "Synergy",
+            EccPolicy::Ivec => "IVEC",
+        }
+    }
+
+    /// Evaluates a device's fault history. Returns the time (hours) of the
+    /// first uncorrectable error, or `None` if the device survives.
+    ///
+    /// `lifetime_hours` bounds activity windows; `scrub_interval_hours`
+    /// (when set) clears *transient* faults at the next scrub boundary.
+    pub fn first_failure(
+        self,
+        faults: &[Fault],
+        lifetime_hours: f64,
+        scrub_interval_hours: Option<f64>,
+    ) -> Option<f64> {
+        let mut first: Option<f64> = None;
+        let mut update = |t: f64| {
+            if first.is_none_or(|f| t < f) {
+                first = Some(t);
+            }
+        };
+
+        // Single-fault failures.
+        for f in faults {
+            let fatal_alone = match self {
+                EccPolicy::None => true,
+                EccPolicy::Secded => f.mode.defeats_secded(),
+                // Symbol/chip-level schemes contain any single-chip fault.
+                EccPolicy::Chipkill | EccPolicy::Synergy | EccPolicy::Ivec => false,
+            };
+            if fatal_alone {
+                update(f.at_hours);
+            }
+        }
+
+        // Pairwise collisions.
+        for (i, a) in faults.iter().enumerate() {
+            for b in &faults[i + 1..] {
+                let spatial = match self {
+                    EccPolicy::None => false, // already fatal singly
+                    EccPolicy::Secded => {
+                        if a.chip == b.chip {
+                            // Two errors in the same word of one chip, unless
+                            // they pin the *same* bit (then it is one error).
+                            a.words_intersect(b)
+                                && !(a.bit.is_some() && a.bit == b.bit)
+                        } else {
+                            a.words_intersect(b)
+                        }
+                    }
+                    EccPolicy::Chipkill | EccPolicy::Synergy | EccPolicy::Ivec => {
+                        a.chip != b.chip && a.words_intersect(b)
+                    }
+                };
+                if !spatial {
+                    continue;
+                }
+                if let Some(t) =
+                    coactive_from(a, b, lifetime_hours, scrub_interval_hours)
+                {
+                    update(t);
+                }
+            }
+        }
+        first
+    }
+}
+
+/// When do two faults first coexist (if ever)?
+fn coactive_from(
+    a: &Fault,
+    b: &Fault,
+    lifetime_hours: f64,
+    scrub_interval_hours: Option<f64>,
+) -> Option<f64> {
+    let end = |f: &Fault| -> f64 {
+        if f.permanent {
+            lifetime_hours
+        } else {
+            match scrub_interval_hours {
+                Some(s) => (((f.at_hours / s).floor() + 1.0) * s).min(lifetime_hours),
+                None => lifetime_hours,
+            }
+        }
+    };
+    let start = a.at_hours.max(b.at_hours);
+    let finish = end(a).min(end(b));
+    (start < finish).then_some(start)
+}
+
+impl core::fmt::Display for EccPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ChipGeometry, FaultMode};
+    use rand::SeedableRng;
+
+    const LIFE: f64 = 61362.0; // 7 years in hours
+
+    fn mk(chip: usize, mode: FaultMode, at: f64, permanent: bool) -> Fault {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(chip as u64 * 31 + at as u64);
+        Fault::sample(&mut rng, &ChipGeometry::default(), chip, mode, permanent, at)
+    }
+
+    #[test]
+    fn no_faults_no_failure() {
+        for p in [EccPolicy::None, EccPolicy::Secded, EccPolicy::Chipkill, EccPolicy::Synergy] {
+            assert_eq!(p.first_failure(&[], LIFE, None), None);
+        }
+    }
+
+    #[test]
+    fn single_bit_correctable_by_all_ecc() {
+        let f = [mk(0, FaultMode::SingleBit, 100.0, true)];
+        assert_eq!(EccPolicy::Secded.first_failure(&f, LIFE, None), None);
+        assert_eq!(EccPolicy::Chipkill.first_failure(&f, LIFE, None), None);
+        assert_eq!(EccPolicy::Synergy.first_failure(&f, LIFE, None), None);
+        // But fatal with no ECC at all.
+        assert_eq!(EccPolicy::None.first_failure(&f, LIFE, None), Some(100.0));
+    }
+
+    #[test]
+    fn chip_failure_defeats_secded_not_synergy() {
+        let f = [mk(2, FaultMode::SingleBank, 50.0, true)];
+        assert_eq!(EccPolicy::Secded.first_failure(&f, LIFE, None), Some(50.0));
+        assert_eq!(EccPolicy::Synergy.first_failure(&f, LIFE, None), None);
+        assert_eq!(EccPolicy::Chipkill.first_failure(&f, LIFE, None), None);
+    }
+
+    #[test]
+    fn two_whole_chip_faults_defeat_chip_level_schemes() {
+        let f = [
+            mk(1, FaultMode::MultiBank, 10.0, true),
+            mk(5, FaultMode::MultiBank, 20.0, true),
+        ];
+        assert_eq!(EccPolicy::Synergy.first_failure(&f, LIFE, None), Some(20.0));
+        assert_eq!(EccPolicy::Chipkill.first_failure(&f, LIFE, None), Some(20.0));
+    }
+
+    #[test]
+    fn same_chip_double_fault_is_fine_for_synergy() {
+        // Two faults confined to one chip: still a 1-of-9 correction.
+        let f = [
+            mk(3, FaultMode::SingleRow, 10.0, true),
+            mk(3, FaultMode::SingleBank, 20.0, true),
+        ];
+        assert_eq!(EccPolicy::Synergy.first_failure(&f, LIFE, None), None);
+    }
+
+    #[test]
+    fn disjoint_chips_disjoint_words_survive() {
+        let mut a = mk(0, FaultMode::SingleBit, 1.0, true);
+        let mut b = mk(1, FaultMode::SingleBit, 2.0, true);
+        a.bank = Some(0);
+        b.bank = Some(1); // different banks: words never intersect
+        assert_eq!(EccPolicy::Synergy.first_failure(&[a, b], LIFE, None), None);
+        assert_eq!(EccPolicy::Secded.first_failure(&[a, b], LIFE, None), None);
+    }
+
+    #[test]
+    fn secded_two_bits_same_word_fail() {
+        let a = mk(0, FaultMode::SingleBit, 5.0, true);
+        let mut b = mk(1, FaultMode::SingleBit, 9.0, true);
+        b.bank = a.bank;
+        b.row = a.row;
+        b.col = a.col;
+        assert_eq!(EccPolicy::Secded.first_failure(&[a, b], LIFE, None), Some(9.0));
+        // Same chip, same word, different bits: also fatal.
+        let mut c = a;
+        c.chip = a.chip;
+        c.bit = Some((a.bit.unwrap() + 1) % 8);
+        c.at_hours = 30.0;
+        assert_eq!(EccPolicy::Secded.first_failure(&[a, c], LIFE, None), Some(30.0));
+        // Same chip, same exact bit: one error, correctable.
+        let mut d = a;
+        d.at_hours = 40.0;
+        assert_eq!(EccPolicy::Secded.first_failure(&[a, d], LIFE, None), None);
+    }
+
+    #[test]
+    fn scrubbing_prevents_transient_collisions() {
+        // Transient fault at t=10 scrubbed at t=24 (daily scrub);
+        // second fault arrives at t=30 — no co-activity.
+        let a = mk(1, FaultMode::MultiBank, 10.0, false);
+        let b = mk(2, FaultMode::MultiBank, 30.0, true);
+        assert_eq!(EccPolicy::Synergy.first_failure(&[a, b], LIFE, Some(24.0)), None);
+        // Without scrubbing they do collide.
+        assert_eq!(EccPolicy::Synergy.first_failure(&[a, b], LIFE, None), Some(30.0));
+        // With a slower scrub (weekly), they still collide.
+        assert_eq!(
+            EccPolicy::Synergy.first_failure(&[a, b], LIFE, Some(168.0)),
+            Some(30.0)
+        );
+    }
+
+    #[test]
+    fn domain_sizes() {
+        assert_eq!(EccPolicy::Secded.domain_chips(), 9);
+        assert_eq!(EccPolicy::Synergy.domain_chips(), 9);
+        assert_eq!(EccPolicy::Chipkill.domain_chips(), 18);
+        assert_eq!(EccPolicy::Ivec.domain_chips(), 16);
+        assert_eq!(EccPolicy::None.domain_chips(), 8);
+    }
+
+    #[test]
+    fn earliest_failure_reported() {
+        let f = [
+            mk(0, FaultMode::SingleBank, 500.0, true),
+            mk(1, FaultMode::SingleRow, 100.0, true),
+        ];
+        assert_eq!(EccPolicy::Secded.first_failure(&f, LIFE, None), Some(100.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the secure-memory layer: layout invariants and
+//! access-expansion conservation laws.
+
+use proptest::prelude::*;
+use synergy_cache::{CacheConfig, SetAssocCache};
+use synergy_dram::{AccessKind, RequestClass};
+use synergy_secure::layout::{CounterOrg, MetadataLayout, Region, TreeLeaves, LINE};
+use synergy_secure::{DesignConfig, SecureEngine};
+
+fn layout_strategy() -> impl Strategy<Value = MetadataLayout> {
+    (12u32..26, prop_oneof![Just(CounterOrg::Monolithic), Just(CounterOrg::Split)]).prop_map(
+        |(log2, org)| MetadataLayout::new(1u64 << log2, org, TreeLeaves::CounterLines),
+    )
+}
+
+proptest! {
+    /// Every data address maps into the correct region, and its metadata
+    /// addresses classify as their own regions.
+    #[test]
+    fn layout_regions_consistent(layout in layout_strategy(), frac in 0.0f64..1.0) {
+        let lines = layout.data_bytes() / LINE;
+        let addr = ((lines as f64 * frac) as u64).min(lines - 1) * LINE;
+        prop_assert_eq!(layout.classify(addr), Region::Data);
+        prop_assert_eq!(layout.classify(layout.counter_line_addr(addr)), Region::Counter);
+        prop_assert_eq!(layout.classify(layout.mac_line_addr(addr)), Region::Mac);
+        prop_assert_eq!(layout.classify(layout.parity_line_addr(addr)), Region::Parity);
+        for (level, node) in layout.tree_path(layout.counter_line_addr(addr)).iter().enumerate() {
+            prop_assert_eq!(layout.classify(*node), Region::Tree(level));
+        }
+    }
+
+    /// Addresses within one counter group share all metadata lines; the
+    /// slot function is a bijection within the group.
+    #[test]
+    fn layout_grouping(layout in layout_strategy(), frac in 0.0f64..1.0) {
+        let per = layout.counter_org().counters_per_line();
+        let groups = layout.data_bytes() / LINE / per;
+        let group = ((groups as f64 * frac) as u64).min(groups - 1);
+        let base = group * per * LINE;
+        let ctr = layout.counter_line_addr(base);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..per {
+            let a = base + i * LINE;
+            prop_assert_eq!(layout.counter_line_addr(a), ctr);
+            prop_assert!(seen.insert(layout.counter_slot(a)));
+        }
+    }
+
+    /// The tree path is strictly level-ascending and shared prefixes
+    /// converge monotonically: once two leaves' paths meet, they never
+    /// diverge again.
+    #[test]
+    fn tree_paths_converge_monotonically(
+        layout in layout_strategy(),
+        fa in 0.0f64..1.0,
+        fb in 0.0f64..1.0,
+    ) {
+        let lines = layout.data_bytes() / LINE;
+        let a = layout.counter_line_addr(((lines as f64 * fa) as u64).min(lines - 1) * LINE);
+        let b = layout.counter_line_addr(((lines as f64 * fb) as u64).min(lines - 1) * LINE);
+        let pa = layout.tree_path(a);
+        let pb = layout.tree_path(b);
+        prop_assert_eq!(pa.len(), pb.len());
+        let mut met = false;
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            if met {
+                prop_assert_eq!(x, y, "paths diverged after meeting");
+            }
+            if x == y {
+                met = true;
+            }
+        }
+    }
+
+    /// Expansion conservation: a read expansion contains exactly one data
+    /// read; Synergy expansions never contain MAC accesses; non-secure
+    /// expansions contain nothing else at all.
+    #[test]
+    fn expansion_invariants(addrs in proptest::collection::vec(0u64..(1 << 24), 1..50)) {
+        let mut llc = SetAssocCache::new(CacheConfig::new(1 << 20, 8, 64).unwrap());
+        let mut syn = SecureEngine::new(DesignConfig::synergy(), 1 << 26);
+        let mut ns = SecureEngine::new(DesignConfig::non_secure(), 1 << 26);
+        let mut llc2 = SetAssocCache::new(CacheConfig::new(1 << 20, 8, 64).unwrap());
+        for addr in addrs {
+            let addr = addr & !63;
+            let e = syn.expand_read(addr, &mut llc);
+            let data_reads = e
+                .accesses
+                .iter()
+                .filter(|a| a.class == RequestClass::Data && a.kind == AccessKind::Read)
+                .count();
+            prop_assert_eq!(data_reads, 1);
+            prop_assert!(e.accesses.iter().all(|a| a.class != RequestClass::Mac));
+
+            let e = ns.expand_read(addr, &mut llc2);
+            prop_assert_eq!(e.accesses.len(), 1);
+
+            let w = syn.expand_writeback(addr, &mut llc);
+            let parity_writes = w
+                .accesses
+                .iter()
+                .filter(|a| a.class == RequestClass::Parity && a.kind == AccessKind::Write)
+                .count();
+            prop_assert_eq!(parity_writes, 1, "Synergy pays exactly one parity write");
+        }
+    }
+
+    /// Warm counter lines stop generating counter traffic: expanding the
+    /// same read twice in a row, the second expansion is data-only for
+    /// Synergy.
+    #[test]
+    fn warm_reads_are_data_only(addr in 0u64..(1 << 24)) {
+        let addr = addr & !63;
+        let mut llc = SetAssocCache::new(CacheConfig::new(1 << 20, 8, 64).unwrap());
+        let mut e = SecureEngine::new(DesignConfig::synergy(), 1 << 26);
+        let _ = e.expand_read(addr, &mut llc);
+        let again = e.expand_read(addr, &mut llc);
+        prop_assert_eq!(again.accesses.len(), 1);
+        prop_assert_eq!(again.accesses[0].class, RequestClass::Data);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-workload presets named after the paper's 29 benchmarks + 6 mixes.
+//!
+//! Parameters (intensity, read fraction, footprint, pattern) are set from
+//! the published memory-behaviour characteristics of each benchmark
+//! (SPEC2006 characterization studies and the GAP suite paper), chosen to
+//! reproduce the relative properties the evaluation depends on. Notably:
+//!
+//! * `mcf`, `libquantum`, `lbm`, `milc` and the GAP kernels are strongly
+//!   memory-bound (APKI ≥ 20) — these show the largest SYNERGY speedups.
+//! * The `*-web` graph workloads have footprints whose *encryption-counter
+//!   working set* (footprint / 8) overflows the 8 MB LLC across 4 cores —
+//!   reproducing Figure 8's anomaly where caching counters in the LLC
+//!   (SGX_O) hurts rather than helps.
+//! * Low-APKI workloads (`sjeng`, `perlbench`, …) are bandwidth-insensitive
+//!   and show no benefit, as §VI-A notes.
+
+use crate::{AccessPattern, Suite, WorkloadSpec};
+
+const MB: u64 = 1 << 20;
+
+macro_rules! w {
+    ($name:literal, $suite:expr, $apki:expr, $rf:expr, $fp_mb:expr, $pat:expr) => {
+        WorkloadSpec {
+            name: $name,
+            suite: $suite,
+            apki: $apki,
+            read_fraction: $rf,
+            footprint_bytes: $fp_mb * MB,
+            pattern: $pat,
+        }
+    };
+}
+
+/// The 29 single-benchmark workloads of Figure 8 (23 SPEC2006 + 6 GAP).
+pub fn all() -> Vec<WorkloadSpec> {
+    use AccessPattern::*;
+    use Suite::*;
+    vec![
+        // --- SPECint (memory-intensive subset) ---
+        w!("mcf", SpecInt, 30.0, 0.80, 48, PointerChase { cluster: 4, hot_fraction: 0.75, hot_bytes: 12 * MB }),
+        w!("libquantum", SpecInt, 25.0, 0.75, 32, Streaming { stride: 64 }),
+        w!("omnetpp", SpecInt, 12.0, 0.70, 32, Random { cluster: 4, hot_fraction: 0.75, hot_bytes: 12 * MB }),
+        w!("astar", SpecInt, 8.0, 0.75, 16, PointerChase { cluster: 4, hot_fraction: 0.75, hot_bytes: 12 * MB }),
+        w!("xalancbmk", SpecInt, 7.0, 0.72, 16, Random { cluster: 4, hot_fraction: 0.70, hot_bytes: 6 * MB }),
+        w!("gcc", SpecInt, 5.0, 0.70, 8, Random { cluster: 8, hot_fraction: 0.65, hot_bytes: 4 * MB }),
+        w!("bzip2", SpecInt, 4.0, 0.68, 8, Streaming { stride: 128 }),
+        w!("gobmk", SpecInt, 2.0, 0.70, 4, Random { cluster: 4, hot_fraction: 0.7, hot_bytes: 2 * MB }),
+        w!("hmmer", SpecInt, 2.0, 0.60, 2, Streaming { stride: 64 }),
+        w!("h264ref", SpecInt, 1.8, 0.65, 2, Streaming { stride: 64 }),
+        w!("sjeng", SpecInt, 1.5, 0.70, 4, Random { cluster: 4, hot_fraction: 0.7, hot_bytes: 2 * MB }),
+        w!("perlbench", SpecInt, 1.2, 0.70, 4, Random { cluster: 4, hot_fraction: 0.7, hot_bytes: 2 * MB }),
+        // --- SPECfp (memory-intensive subset) ---
+        w!("lbm", SpecFp, 30.0, 0.55, 64, Streaming { stride: 128 }),
+        w!("milc", SpecFp, 22.0, 0.70, 48, Random { cluster: 8, hot_fraction: 0.70, hot_bytes: 12 * MB }),
+        w!("soplex", SpecFp, 20.0, 0.75, 32, Random { cluster: 8, hot_fraction: 0.70, hot_bytes: 10 * MB }),
+        w!("GemsFDTD", SpecFp, 18.0, 0.70, 48, Streaming { stride: 64 }),
+        w!("leslie3d", SpecFp, 15.0, 0.70, 32, Streaming { stride: 64 }),
+        w!("bwaves", SpecFp, 14.0, 0.72, 48, Streaming { stride: 64 }),
+        w!("sphinx3", SpecFp, 12.0, 0.80, 16, Streaming { stride: 64 }),
+        w!("zeusmp", SpecFp, 8.0, 0.70, 24, Streaming { stride: 256 }),
+        w!("cactusADM", SpecFp, 6.0, 0.65, 16, Streaming { stride: 128 }),
+        w!("wrf", SpecFp, 6.0, 0.70, 16, Streaming { stride: 64 }),
+        w!("dealII", SpecFp, 3.0, 0.75, 8, Random { cluster: 8, hot_fraction: 0.7, hot_bytes: 3 * MB }),
+        // --- GAP graph kernels (PageRank / Connected Components /
+        //     Betweenness Centrality on twitter and web graphs) ---
+        w!("pr-twi", Gap, 35.0, 0.80, 64, Graph { stream_fraction: 0.40, core_fraction: 0.30, core_bytes: 2 * MB, hot_fraction: 0.60, hot_bytes: 10 * MB }),
+        w!("pr-web", Gap, 30.0, 0.70, 1536, Graph { stream_fraction: 0.65, core_fraction: 0.45, core_bytes: MB * 3 / 2, hot_fraction: 0.0, hot_bytes: 0 }),
+        w!("cc-twi", Gap, 30.0, 0.85, 64, Graph { stream_fraction: 0.40, core_fraction: 0.30, core_bytes: 2 * MB, hot_fraction: 0.60, hot_bytes: 10 * MB }),
+        w!("cc-web", Gap, 28.0, 0.75, 1536, Graph { stream_fraction: 0.65, core_fraction: 0.45, core_bytes: MB * 3 / 2, hot_fraction: 0.0, hot_bytes: 0 }),
+        w!("bc-twi", Gap, 32.0, 0.75, 64, Graph { stream_fraction: 0.35, core_fraction: 0.30, core_bytes: 2 * MB, hot_fraction: 0.60, hot_bytes: 10 * MB }),
+        w!("bc-web", Gap, 28.0, 0.70, 1536, Graph { stream_fraction: 0.65, core_fraction: 0.45, core_bytes: MB * 3 / 2, hot_fraction: 0.0, hot_bytes: 0 }),
+    ]
+}
+
+/// Looks up a single workload by its paper name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The memory-intensive subset (> 10 APKI) the paper's headline numbers
+/// average over.
+pub fn memory_intensive() -> Vec<WorkloadSpec> {
+    all().into_iter().filter(|w| w.apki >= 10.0).collect()
+}
+
+/// A 4-benchmark mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Mix name as shown on the Figure 8 x-axis.
+    pub name: &'static str,
+    /// The four member benchmarks (one per core).
+    pub members: [&'static str; 4],
+}
+
+/// The 6 mixed workloads (random 4-benchmark combinations, §V).
+pub fn mixes() -> Vec<MixSpec> {
+    vec![
+        MixSpec { name: "mix1", members: ["mcf", "lbm", "libquantum", "omnetpp"] },
+        MixSpec { name: "mix2", members: ["milc", "soplex", "astar", "gcc"] },
+        MixSpec { name: "mix3", members: ["GemsFDTD", "leslie3d", "xalancbmk", "bzip2"] },
+        MixSpec { name: "mix4", members: ["pr-twi", "mcf", "sphinx3", "bwaves"] },
+        MixSpec { name: "mix5", members: ["lbm", "milc", "zeusmp", "cactusADM"] },
+        MixSpec { name: "mix6", members: ["libquantum", "soplex", "omnetpp", "wrf"] },
+    ]
+}
+
+/// Resolves a mix into its member workload specs.
+///
+/// # Panics
+///
+/// Panics if the mix references an unknown benchmark (a bug in the tables
+/// above, caught by tests).
+pub fn mix_members(mix: &MixSpec) -> Vec<WorkloadSpec> {
+    mix.members
+        .iter()
+        .map(|m| by_name(m).unwrap_or_else(|| panic!("mix member {m} not found")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_nine_workloads() {
+        assert_eq!(all().len(), 29);
+        let gap = all().iter().filter(|w| w.suite == Suite::Gap).count();
+        assert_eq!(gap, 6);
+        let int = all().iter().filter(|w| w.suite == Suite::SpecInt).count();
+        let fp = all().iter().filter(|w| w.suite == Suite::SpecFp).count();
+        assert_eq!(int + fp, 23);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = all().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 29);
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("pr-web").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn memory_intensive_subset() {
+        let mi = memory_intensive();
+        assert!(mi.len() >= 12, "got {}", mi.len());
+        assert!(mi.iter().all(|w| w.apki >= 10.0));
+        assert!(mi.iter().any(|w| w.name == "mcf"));
+        assert!(!mi.iter().any(|w| w.name == "sjeng"));
+    }
+
+    #[test]
+    fn all_mixes_resolve() {
+        let mixes = mixes();
+        assert_eq!(mixes.len(), 6);
+        for m in &mixes {
+            let members = mix_members(m);
+            assert_eq!(members.len(), 4);
+        }
+    }
+
+    #[test]
+    fn web_graphs_have_llc_overflowing_counter_working_sets() {
+        // The property behind the Figure 8 anomaly: counter working set
+        // (footprint / 8) across 4 cores must exceed the 8 MB LLC for the
+        // web datasets but not by as much for twitter.
+        for name in ["pr-web", "cc-web", "bc-web"] {
+            let w = by_name(name).unwrap();
+            let counter_ws_4core = 4 * w.footprint_bytes / 8;
+            assert!(counter_ws_4core > 8 * MB * 4, "{name}");
+        }
+        for name in ["pr-twi", "cc-twi", "bc-twi"] {
+            let w = by_name(name).unwrap();
+            assert!(w.footprint_bytes < by_name("pr-web").unwrap().footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn sane_parameter_ranges() {
+        for w in all() {
+            assert!(w.apki > 0.0 && w.apki < 100.0, "{}", w.name);
+            assert!(w.read_fraction > 0.3 && w.read_fraction <= 1.0, "{}", w.name);
+            assert!(w.footprint_bytes >= MB, "{}", w.name);
+        }
+    }
+}

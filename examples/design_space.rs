@@ -1,0 +1,67 @@
+//! Design-space tour: run one workload through every Table II secure-memory
+//! design and compare IPC, traffic bloat and EDP — a pocket version of
+//! Figures 8–10 and 16–17.
+//!
+//! Run with `cargo run --release --example design_space [workload]`
+//! (default workload: `milc`; try `mcf`, `lbm`, `pr-twi`, …).
+
+use synergy::core::system::{run, SimResult, SystemConfig};
+use synergy::dram::RequestClass;
+use synergy::secure::DesignConfig;
+use synergy::trace::{presets, MultiCoreTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "milc".to_string());
+    let workload = presets::by_name(&name)
+        .ok_or_else(|| format!("unknown workload {name}; see synergy_trace::presets"))?;
+    println!(
+        "== design space on `{}` (APKI {}, footprint {} MB/core) ==\n",
+        workload.name,
+        workload.apki,
+        workload.footprint_bytes >> 20
+    );
+
+    let designs = [
+        DesignConfig::non_secure(),
+        DesignConfig::sgx(),
+        DesignConfig::sgx_o(),
+        DesignConfig::synergy(),
+        DesignConfig::ivec(),
+        DesignConfig::lot_ecc(true),
+    ];
+
+    let results: Vec<SimResult> = designs
+        .into_iter()
+        .map(|design| {
+            let mut cfg = SystemConfig::new(design);
+            cfg.warmup_records_per_core = 40_000;
+            let mut trace = MultiCoreTrace::rate_mode(&workload, cfg.cores, 7);
+            run(&cfg, &mut trace, 120_000)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let base = results.iter().find(|r| r.design == "SGX_O").expect("SGX_O in the design list");
+    let (b_ipc, b_edp) = (base.ipc, base.edp());
+
+    println!(
+        "{:<11} {:>6} {:>9} {:>8} {:>22} {:>8}",
+        "design", "IPC", "rel. IPC", "APKI", "bloat ctr/tree/mac/par", "rel. EDP"
+    );
+    for r in &results {
+        let t = &r.traffic;
+        println!(
+            "{:<11} {:>6.2} {:>8.2}x {:>8.1} {:>7.1}/{:.1}/{:.1}/{:.1} {:>7.2}x",
+            r.design,
+            r.ipc,
+            r.ipc / b_ipc,
+            t.total_apki(),
+            t.reads(RequestClass::Counter) + t.writes(RequestClass::Counter),
+            t.reads(RequestClass::TreeNode) + t.writes(RequestClass::TreeNode),
+            t.reads(RequestClass::Mac) + t.writes(RequestClass::Mac),
+            t.reads(RequestClass::Parity) + t.writes(RequestClass::Parity),
+            r.edp() / b_edp,
+        );
+    }
+    println!("\n(relative columns are vs SGX_O; paper: Synergy ≈ 1.20x IPC, 0.69x EDP)");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Rowhammer resilience (§IV-B): SYNERGY doesn't just *detect* disturbance
+//! bit-flips — it corrects them, as long as they stay within one chip.
+//!
+//! This example simulates an aggressor hammering rows and flipping bits in
+//! victim lines, first localized to one chip (all healed), then spanning
+//! chips (detected and refused).
+//!
+//! Run with `cargo run --release --example rowhammer_resilience`.
+
+use rand::{Rng, SeedableRng};
+use synergy::core::memory::{MemoryError, SynergyMemory, SynergyMemoryConfig};
+use synergy::crypto::CacheLine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15);
+    let mut mem = SynergyMemory::new(SynergyMemoryConfig::with_capacity(1 << 18))?;
+
+    // Victim region: page-table-like entries the attacker wants to flip.
+    let victims: Vec<u64> = (0..64).map(|i| 0x8000 + i * 64).collect();
+    for (i, &addr) in victims.iter().enumerate() {
+        mem.write_line(addr, &CacheLine::from_bytes([i as u8; 64]))?;
+    }
+
+    println!("== phase 1: single-chip disturbance (realistic Rowhammer) ==");
+    let mut healed = 0;
+    for round in 0..200 {
+        let victim = victims[rng.gen_range(0..victims.len())];
+        let chip = rng.gen_range(0..9);
+        let bit = rng.gen_range(0..64);
+        mem.inject_bit_flip(victim, chip, bit);
+        let out = mem.read_line(victim)?;
+        let expected = ((victim - 0x8000) / 64) as u8;
+        assert_eq!(out.data, CacheLine::from_bytes([expected; 64]), "round {round}");
+        if out.corrected {
+            healed += 1;
+        }
+    }
+    println!("200 hammering rounds: {healed} flips healed, 0 privilege escalations\n");
+
+    println!("== phase 2: multi-chip disturbance ==");
+    let victim = victims[7];
+    mem.inject_bit_flip(victim, 2, 10);
+    mem.inject_bit_flip(victim, 5, 33);
+    match mem.read_line(victim) {
+        Err(MemoryError::AttackDetected { addr }) => {
+            println!("flips across two chips at {addr:#x}: detected, execution halted —")
+        }
+        Ok(out) => println!("unexpectedly readable (corrected={})", out.corrected),
+        Err(e) => println!("unexpected error: {e}"),
+    }
+    println!("the attacker still gains nothing (no silent flip survives).\n");
+
+    let s = mem.stats();
+    println!(
+        "stats: {} corrections ({} per-chip max), {} attacks declared, {} MAC computations",
+        s.corrections,
+        s.per_chip_corrections.iter().max().unwrap(),
+        s.attacks_declared,
+        s.mac_computations
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # SYNERGY — secure-memory / reliability co-design for ECC-DIMMs
+//!
+//! This is the umbrella crate of a from-scratch Rust reproduction of
+//! *SYNERGY: Rethinking Secure-Memory Design for Error-Correcting Memories*
+//! (HPCA 2018). It re-exports every subsystem crate so downstream users can
+//! depend on a single crate:
+//!
+//! * [`crypto`] — AES-128, GHASH/GMAC, Carter–Wegman MACs, counter-mode
+//!   encryption.
+//! * [`ecc`] — SECDED (Hsiao 72,64), Reed–Solomon Chipkill, RAID-3 chip
+//!   parity.
+//! * [`dram`] — cycle-level DDR3 memory-system simulator (USIMM-style).
+//! * [`cache`] — set-associative cache models (LLC, metadata cache).
+//! * [`trace`] — synthetic SPEC2006/GAP-like workload trace generators.
+//! * [`secure`] — secure-memory designs: counters, Bonsai counter tree,
+//!   MAC tree, and the access-expansion engines for SGX, SGX_O, Synergy,
+//!   IVEC, LOT-ECC and Non-Secure.
+//! * [`faultsim`] — Monte-Carlo DRAM reliability simulator with the
+//!   Sridharan field-study fault model.
+//! * [`core`] — the SYNERGY functional memory (MAC-in-ECC-chip co-location,
+//!   RAID-3 reconstruction engine, tree-integrated error correction) and the
+//!   full-system performance simulator.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every reproduced table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use synergy::core::memory::{SynergyMemory, SynergyMemoryConfig};
+//! use synergy::crypto::CacheLine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A functional SYNERGY-protected memory of 1 MiB.
+//! let mut mem = SynergyMemory::new(SynergyMemoryConfig::with_capacity(1 << 20))?;
+//! let line = CacheLine::from_bytes([0xAB; 64]);
+//! mem.write_line(0x4000, &line)?;
+//!
+//! // A whole DRAM chip fails...
+//! mem.inject_chip_error(0x4000, 3);
+//!
+//! // ...and the read still returns the correct data, transparently.
+//! let out = mem.read_line(0x4000)?;
+//! assert_eq!(out.data, line);
+//! assert!(out.corrected);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use synergy_cache as cache;
+pub use synergy_core as core;
+pub use synergy_crypto as crypto;
+pub use synergy_dram as dram;
+pub use synergy_ecc as ecc;
+pub use synergy_faultsim as faultsim;
+pub use synergy_secure as secure;
+pub use synergy_trace as trace;
