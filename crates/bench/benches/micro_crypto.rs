@@ -1,5 +1,10 @@
 //! Criterion micro-benchmarks for the crypto substrate: AES block
 //! throughput, counter-mode line encryption, GMAC and Carter–Wegman tags.
+//!
+//! Each hot-path kernel is benchmarked on both its table-driven path and
+//! the retained bit-serial / per-byte `*_reference` path, so the speedup
+//! from the precomputed key tables is visible directly in the report
+//! (`gmac_line_tag/table` vs `gmac_line_tag/reference`, etc.).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -16,6 +21,9 @@ fn bench_aes(c: &mut Criterion) {
     g.bench_function("encrypt_block", |b| {
         b.iter(|| aes.encrypt_block(black_box(&block)))
     });
+    g.bench_function("encrypt_block_reference", |b| {
+        b.iter(|| aes.encrypt_block_reference(black_box(&block)))
+    });
     g.bench_function("decrypt_block", |b| {
         let ct = aes.encrypt_block(&block);
         b.iter(|| aes.decrypt_block(black_box(&ct)))
@@ -26,32 +34,52 @@ fn bench_aes(c: &mut Criterion) {
 fn bench_ctr(c: &mut Criterion) {
     let cipher = LineCipher::new(&EncryptionKey::from_bytes([1; 16]));
     let line = CacheLine::from_bytes([0xA5; 64]);
-    let mut g = c.benchmark_group("ctr_mode");
+    let mut g = c.benchmark_group("ctr_encrypt_line");
     g.throughput(Throughput::Bytes(64));
-    g.bench_function("encrypt_line", |b| {
+    g.bench_function("table", |b| {
         let mut ctr = 0u64;
         b.iter(|| {
             ctr += 1;
             cipher.encrypt(black_box(0x4000), black_box(ctr), black_box(&line))
         })
     });
+    g.bench_function("reference", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            cipher.encrypt_reference(black_box(0x4000), black_box(ctr), black_box(&line))
+        })
+    });
     g.finish();
 }
 
-fn bench_macs(c: &mut Criterion) {
+fn bench_gmac(c: &mut Criterion) {
     let gmac = Gmac::new(&MacKey::from_bytes([2; 16]));
-    let cw = CarterWegmanMac::new(&MacKey::from_bytes([3; 16]));
     let line = CacheLine::from_bytes([0x5A; 64]);
-    let mut g = c.benchmark_group("mac");
+    let mut g = c.benchmark_group("gmac_line_tag");
     g.throughput(Throughput::Bytes(64));
-    g.bench_function("gmac64_line", |b| {
+    g.bench_function("table", |b| {
         b.iter(|| gmac.line_tag(black_box(0x4000), black_box(9), black_box(&line)))
     });
-    g.bench_function("carter_wegman56_line", |b| {
-        b.iter(|| cw.line_tag(black_box(0x4000), black_box(9), black_box(&line)))
+    g.bench_function("reference", |b| {
+        b.iter(|| gmac.line_tag_reference(black_box(0x4000), black_box(9), black_box(&line)))
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_aes, bench_ctr, bench_macs);
+fn bench_cw(c: &mut Criterion) {
+    let cw = CarterWegmanMac::new(&MacKey::from_bytes([3; 16]));
+    let line = CacheLine::from_bytes([0x5A; 64]);
+    let mut g = c.benchmark_group("cw_tag_line");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("table", |b| {
+        b.iter(|| cw.line_tag(black_box(0x4000), black_box(9), black_box(&line)))
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| cw.line_tag_reference(black_box(0x4000), black_box(9), black_box(&line)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_ctr, bench_gmac, bench_cw);
 criterion_main!(benches);

@@ -33,7 +33,7 @@ use synergy_crypto::gmac::Gmac;
 use synergy_crypto::{CacheLine, EncryptionKey, MacKey};
 use synergy_secure::layout::{CounterOrg, MetadataLayout, Region, TreeLeaves, LINE};
 
-use crate::stored::{ChipSlice, StoredLine, CHIPS};
+use crate::stored::{xor_slices, ChipSlice, StoredLine, CHIPS};
 
 /// 56-bit counter mask.
 const MASK56: u64 = (1 << 56) - 1;
@@ -306,13 +306,14 @@ impl SynergyMemory {
         // Fast path for a tracked permanent chip failure: reconstruct that
         // chip first; the MAC verification that follows is the same single
         // computation the error-free path performs (§IV-A).
+        let stored = self.lines[&addr];
         if let Some(chip) = self.tracked_faulty_chip {
             let parity = self.parity_slot_value(addr);
-            let candidate = self.lines[&addr].with_chip_reconstructed(chip, &parity);
+            let candidate = stored.with_chip_reconstructed(chip, &parity);
             let (cl, cmac) = candidate.data_parts();
             self.stats.mac_computations += 1;
             if self.gmac.line_tag(addr, counter, &cl) == cmac {
-                let fixed = candidate != self.lines[&addr];
+                let fixed = candidate != stored;
                 if fixed {
                     self.lines.insert(addr, candidate);
                     self.stats.preemptive_corrections += 1;
@@ -325,7 +326,6 @@ impl SynergyMemory {
             }
         }
 
-        let stored = self.lines[&addr];
         let (ciphertext, mac) = stored.data_parts();
         self.stats.mac_computations += 1;
         if self.gmac.line_tag(addr, counter, &ciphertext) == mac {
@@ -449,9 +449,13 @@ impl SynergyMemory {
         if self.gmac.node_tag(line_addr, parent_ctr, &pack_counters(&counters)) == mac {
             return Ok(counters);
         }
-        // Correction: up to 8 reconstruction attempts (Scenario B/C).
+        // Correction: up to 8 reconstruction attempts (Scenario B/C). The
+        // ParityC reconstruction of any chip is `base ^ chips[chip]` with
+        // `base = XOR of all nine chips`, folded once for all 8 candidates.
+        let base = stored.xor_of_nine();
         for chip in 0..8 {
-            let candidate = stored.with_chip_reconstructed_from_ecc(chip);
+            let candidate =
+                stored.with_chip_replaced(chip, xor_slices(&[base, stored.chips[chip]]));
             let (c2, m2, _) = candidate.counter_parts();
             self.stats.mac_computations += 1;
             if self.gmac.node_tag(line_addr, parent_ctr, &pack_counters(&c2)) == m2 {
@@ -496,8 +500,13 @@ impl SynergyMemory {
                 (rebuilt, true)
             };
 
+            // Reconstruction of any chip is `base ^ chips[chip]` with
+            // `base = parity ⊕ xor_of_nine`, folded once per parity pass
+            // instead of once per candidate (≤ 9 candidates per pass).
+            let base = xor_slices(&[parity, stored.xor_of_nine()]);
             for &chip in &order {
-                let candidate = stored.with_chip_reconstructed(chip, &parity);
+                let candidate =
+                    stored.with_chip_replaced(chip, xor_slices(&[base, stored.chips[chip]]));
                 let (cl, cmac) = candidate.data_parts();
                 self.stats.mac_computations += 1;
                 if self.gmac.line_tag(addr, counter, &cl) == cmac {

@@ -30,23 +30,24 @@ pub struct StoredLine {
 
 impl StoredLine {
     /// Builds a data-region line: ciphertext in chips 0–7, MAC in the ECC
-    /// chip.
+    /// chip. The line is decomposed in a single pass over its bytes.
     pub fn from_data(ciphertext: &CacheLine, mac: u64) -> Self {
         let mut chips = [[0u8; 8]; CHIPS];
-        for (i, chip) in chips.iter_mut().take(8).enumerate() {
-            *chip = ciphertext.chip_slice(i);
+        for (chip, bytes) in chips.iter_mut().zip(ciphertext.as_bytes().chunks_exact(8)) {
+            chip.copy_from_slice(bytes);
         }
         chips[8] = mac.to_le_bytes();
         Self { chips }
     }
 
-    /// Splits a data-region line into `(ciphertext, mac)`.
+    /// Splits a data-region line into `(ciphertext, mac)` — one pass, no
+    /// per-chip slice round trips.
     pub fn data_parts(&self) -> (CacheLine, u64) {
-        let mut line = CacheLine::zeroed();
-        for i in 0..8 {
-            line.chip_slice_mut(i).copy_from_slice(&self.chips[i]);
+        let mut bytes = [0u8; 64];
+        for (chunk, chip) in bytes.chunks_exact_mut(8).zip(self.chips.iter()) {
+            chunk.copy_from_slice(chip);
         }
-        (line, u64::from_le_bytes(self.chips[8]))
+        (CacheLine::from_bytes(bytes), u64::from_le_bytes(self.chips[8]))
     }
 
     /// Builds a counter-region line: chip *i* carries counter *i*
@@ -137,6 +138,24 @@ impl StoredLine {
             }
         }
         out.chips[failed] = slice;
+        out
+    }
+
+    /// Returns a copy with chip `chip`'s slice replaced by `slice`.
+    ///
+    /// Combined with a hoisted XOR base (`parity ⊕ xor_of_nine`), this lets
+    /// the correction engine derive each of its up-to-18 candidate
+    /// reconstructions with a single 8-byte XOR instead of re-folding all
+    /// nine chips per candidate (see `SynergyMemory::correct_data_line`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= 9`.
+    #[must_use]
+    pub fn with_chip_replaced(&self, chip: usize, slice: ChipSlice) -> Self {
+        assert!(chip < CHIPS, "chip {chip} out of range");
+        let mut out = *self;
+        out.chips[chip] = slice;
         out
     }
 
@@ -240,6 +259,34 @@ mod tests {
         bad.corrupt_chip(3, [0x01; 8]);
         let attempt = bad.with_chip_reconstructed(5, &parity);
         assert_ne!(attempt, clean);
+    }
+
+    #[test]
+    fn hoisted_base_reconstruction_matches_with_chip_reconstructed() {
+        // The correction engine's fast form: candidate chip value is
+        // `base ^ chips[failed]` with `base = parity ⊕ xor_of_nine`.
+        let line = CacheLine::from_bytes([0x2B; 64]);
+        let clean = StoredLine::from_data(&line, 1234);
+        let parity = clean.xor_of_nine();
+        let mut bad = clean;
+        bad.corrupt_chip(4, [0x0F; 8]);
+        let base = xor_slices(&[parity, bad.xor_of_nine()]);
+        for failed in 0..9 {
+            assert_eq!(
+                bad.with_chip_replaced(failed, xor_slices(&[base, bad.chips[failed]])),
+                bad.with_chip_reconstructed(failed, &parity),
+                "chip {failed}"
+            );
+        }
+        // Same identity for the ParityC (ECC-chip) form over chips 0–7.
+        let base_c = bad.xor_of_nine();
+        for failed in 0..8 {
+            assert_eq!(
+                bad.with_chip_replaced(failed, xor_slices(&[base_c, bad.chips[failed]])),
+                bad.with_chip_reconstructed_from_ecc(failed),
+                "chip {failed}"
+            );
+        }
     }
 
     #[test]

@@ -2,13 +2,24 @@
 //!
 //! The secure-memory designs modeled in this workspace assume an AES engine
 //! in the memory controller for one-time-pad generation (counter-mode
-//! encryption) and GMAC computation. This module provides a straightforward,
-//! table-based software implementation validated against the FIPS-197 and
-//! NIST SP 800-38A test vectors.
+//! encryption) and GMAC computation. Because every simulated memory access
+//! pays for several block encryptions, the hot path uses the classic
+//! **T-table** formulation: four 256×u32 tables fuse SubBytes, ShiftRows
+//! and MixColumns into four lookups + XORs per column per round (and the
+//! inverse set drives the FIPS-197 *equivalent inverse cipher* for
+//! decryption). The tables are key-independent, built once at first use.
+//!
+//! The straightforward per-byte round implementation is retained as
+//! [`Aes128::encrypt_block_reference`] / [`Aes128::decrypt_block_reference`]
+//! and serves as the oracle for the table path in the equivalence test
+//! suites. Both are validated against the FIPS-197 and NIST SP 800-38A
+//! test vectors.
 //!
 //! The implementation favours clarity over side-channel resistance: it is a
 //! simulation substrate, not a production cipher (the modeled hardware
 //! engine would be constant-time by construction).
+
+use std::sync::OnceLock;
 
 /// The AES S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
@@ -55,6 +66,47 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
     p
 }
 
+/// Key-independent lookup tables shared by every [`Aes128`] instance.
+///
+/// `te[0][x]` packs the MixColumns contribution `[2·S(x), S(x), S(x), 3·S(x)]`
+/// of a row-0 state byte as a big-endian u32; `te[i]` is `te[0]` rotated
+/// right by `8·i` bits (the contribution of a row-`i` byte). `td` is the
+/// inverse-cipher analogue over `InvS` with coefficients `[e, 9, d, b]`.
+struct AesTables {
+    te: [[u32; 256]; 4],
+    td: [[u32; 256]; 4],
+    inv_sbox: [u8; 256],
+}
+
+/// Builds (once) the 8 KiB of encryption/decryption T-tables.
+fn tables() -> &'static AesTables {
+    static TABLES: OnceLock<AesTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut inv_sbox = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv_sbox[s as usize] = i as u8;
+        }
+        let mut te = [[0u32; 256]; 4];
+        let mut td = [[0u32; 256]; 4];
+        for x in 0..256 {
+            let s = SBOX[x];
+            let e0 = u32::from_be_bytes([xtime(s), s, s, xtime(s) ^ s]);
+            let is = inv_sbox[x];
+            let d0 = u32::from_be_bytes([
+                gmul(is, 0x0e),
+                gmul(is, 0x09),
+                gmul(is, 0x0d),
+                gmul(is, 0x0b),
+            ]);
+            for row in 0..4 {
+                te[row][x] = e0.rotate_right(8 * row as u32);
+                td[row][x] = d0.rotate_right(8 * row as u32);
+            }
+        }
+        AesTables { te, td, inv_sbox }
+    })
+}
+
 /// An expanded AES-128 key, ready for block encryption.
 ///
 /// ```
@@ -76,8 +128,13 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 /// ```
 #[derive(Clone)]
 pub struct Aes128 {
-    /// 11 round keys of 16 bytes each.
+    /// 11 round keys of 16 bytes each (reference path).
     round_keys: [[u8; 16]; 11],
+    /// Encryption round keys as big-endian column words (T-table path).
+    ek: [[u32; 4]; 11],
+    /// Decryption round keys for the equivalent inverse cipher:
+    /// `dk[r] = InvMixColumns(round_keys[r])` for the middle rounds.
+    dk: [[u32; 4]; 11],
 }
 
 impl core::fmt::Debug for Aes128 {
@@ -86,8 +143,19 @@ impl core::fmt::Debug for Aes128 {
     }
 }
 
+/// Packs a 16-byte round key into four big-endian column words.
+fn key_words(rk: &[u8; 16]) -> [u32; 4] {
+    let mut w = [0u32; 4];
+    for (c, word) in w.iter_mut().enumerate() {
+        *word = u32::from_be_bytes(rk[4 * c..4 * c + 4].try_into().unwrap());
+    }
+    w
+}
+
 impl Aes128 {
-    /// Expands a 128-bit key into the 11 round keys.
+    /// Expands a 128-bit key into the 11 round keys (both the byte-wise
+    /// schedule used by the reference path and the word-form schedules of
+    /// the T-table encrypt / equivalent-inverse-cipher decrypt paths).
     pub fn new(key: &[u8; 16]) -> Self {
         let mut w = [[0u8; 4]; 44];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
@@ -112,11 +180,136 @@ impl Aes128 {
                 rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
             }
         }
-        Self { round_keys }
+
+        let mut ek = [[0u32; 4]; 11];
+        for (r, rk) in round_keys.iter().enumerate() {
+            ek[r] = key_words(rk);
+        }
+        // Equivalent inverse cipher (FIPS-197 §5.3.5): the middle-round
+        // decryption keys absorb an InvMixColumns so the TD tables can fuse
+        // InvSubBytes + InvMixColumns.
+        let mut dk = ek;
+        for r in 1..10 {
+            let mut mixed = round_keys[r];
+            inv_mix_columns(&mut mixed);
+            dk[r] = key_words(&mixed);
+        }
+        Self { round_keys, ek, dk }
     }
 
-    /// Encrypts one 16-byte block.
+    /// Encrypts one 16-byte block via the fused T-table rounds.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let t = tables();
+        let mut w = key_words(block);
+        for (c, k) in self.ek[0].iter().enumerate() {
+            w[c] ^= k;
+        }
+        for round in 1..10 {
+            let rk = &self.ek[round];
+            w = [
+                t.te[0][(w[0] >> 24) as usize]
+                    ^ t.te[1][(w[1] >> 16) as usize & 0xff]
+                    ^ t.te[2][(w[2] >> 8) as usize & 0xff]
+                    ^ t.te[3][w[3] as usize & 0xff]
+                    ^ rk[0],
+                t.te[0][(w[1] >> 24) as usize]
+                    ^ t.te[1][(w[2] >> 16) as usize & 0xff]
+                    ^ t.te[2][(w[3] >> 8) as usize & 0xff]
+                    ^ t.te[3][w[0] as usize & 0xff]
+                    ^ rk[1],
+                t.te[0][(w[2] >> 24) as usize]
+                    ^ t.te[1][(w[3] >> 16) as usize & 0xff]
+                    ^ t.te[2][(w[0] >> 8) as usize & 0xff]
+                    ^ t.te[3][w[1] as usize & 0xff]
+                    ^ rk[2],
+                t.te[0][(w[3] >> 24) as usize]
+                    ^ t.te[1][(w[0] >> 16) as usize & 0xff]
+                    ^ t.te[2][(w[1] >> 8) as usize & 0xff]
+                    ^ t.te[3][w[2] as usize & 0xff]
+                    ^ rk[3],
+            ];
+        }
+        // Final round: SubBytes + ShiftRows only.
+        let rk = &self.ek[10];
+        let mut out = [0u8; 16];
+        for c in 0..4 {
+            let word = u32::from_be_bytes([
+                SBOX[(w[c] >> 24) as usize],
+                SBOX[(w[(c + 1) % 4] >> 16) as usize & 0xff],
+                SBOX[(w[(c + 2) % 4] >> 8) as usize & 0xff],
+                SBOX[w[(c + 3) % 4] as usize & 0xff],
+            ]) ^ rk[c];
+            out[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Encrypts four blocks in one call — the batch entry point the
+    /// counter-mode line cipher uses to derive a whole 64-byte pad.
+    ///
+    /// The four column words of each block already expose 4-way
+    /// instruction-level parallelism per round; batching amortizes call
+    /// overhead and keeps the T-tables hot across the pad's four blocks.
+    pub fn encrypt_blocks4(&self, blocks: &[[u8; 16]; 4]) -> [[u8; 16]; 4] {
+        [
+            self.encrypt_block(&blocks[0]),
+            self.encrypt_block(&blocks[1]),
+            self.encrypt_block(&blocks[2]),
+            self.encrypt_block(&blocks[3]),
+        ]
+    }
+
+    /// Decrypts one 16-byte block via the equivalent inverse cipher with
+    /// fused TD-table rounds.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let t = tables();
+        let mut w = key_words(block);
+        for (c, k) in self.ek[10].iter().enumerate() {
+            w[c] ^= k;
+        }
+        for round in (1..10).rev() {
+            let rk = &self.dk[round];
+            w = [
+                t.td[0][(w[0] >> 24) as usize]
+                    ^ t.td[1][(w[3] >> 16) as usize & 0xff]
+                    ^ t.td[2][(w[2] >> 8) as usize & 0xff]
+                    ^ t.td[3][w[1] as usize & 0xff]
+                    ^ rk[0],
+                t.td[0][(w[1] >> 24) as usize]
+                    ^ t.td[1][(w[0] >> 16) as usize & 0xff]
+                    ^ t.td[2][(w[3] >> 8) as usize & 0xff]
+                    ^ t.td[3][w[2] as usize & 0xff]
+                    ^ rk[1],
+                t.td[0][(w[2] >> 24) as usize]
+                    ^ t.td[1][(w[1] >> 16) as usize & 0xff]
+                    ^ t.td[2][(w[0] >> 8) as usize & 0xff]
+                    ^ t.td[3][w[3] as usize & 0xff]
+                    ^ rk[2],
+                t.td[0][(w[3] >> 24) as usize]
+                    ^ t.td[1][(w[2] >> 16) as usize & 0xff]
+                    ^ t.td[2][(w[1] >> 8) as usize & 0xff]
+                    ^ t.td[3][w[0] as usize & 0xff]
+                    ^ rk[3],
+            ];
+        }
+        // Final round: InvSubBytes + InvShiftRows only.
+        let rk = &self.ek[0];
+        let mut out = [0u8; 16];
+        for c in 0..4 {
+            let word = u32::from_be_bytes([
+                t.inv_sbox[(w[c] >> 24) as usize],
+                t.inv_sbox[(w[(c + 3) % 4] >> 16) as usize & 0xff],
+                t.inv_sbox[(w[(c + 2) % 4] >> 8) as usize & 0xff],
+                t.inv_sbox[w[(c + 1) % 4] as usize & 0xff],
+            ]) ^ rk[c];
+            out[4 * c..4 * c + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Encrypts one block with the straightforward per-byte FIPS-197 round
+    /// sequence — the oracle the T-table path is tested against.
+    pub fn encrypt_block_reference(&self, block: &[u8; 16]) -> [u8; 16] {
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys[0]);
         for round in 1..10 {
@@ -131,8 +324,9 @@ impl Aes128 {
         state
     }
 
-    /// Decrypts one 16-byte block (the FIPS-197 inverse cipher).
-    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+    /// Decrypts one block with the straightforward FIPS-197 inverse cipher —
+    /// the oracle the equivalent-inverse-cipher path is tested against.
+    pub fn decrypt_block_reference(&self, block: &[u8; 16]) -> [u8; 16] {
         let mut state = *block;
         add_round_key(&mut state, &self.round_keys[10]);
         for round in (1..10).rev() {
@@ -174,15 +368,10 @@ fn sub_bytes(state: &mut [u8; 16]) {
 
 #[inline]
 fn inv_sub_bytes(state: &mut [u8; 16]) {
+    let inv = &tables().inv_sbox;
     for b in state.iter_mut() {
-        *b = inv_sbox(*b);
+        *b = inv[*b as usize];
     }
-}
-
-fn inv_sbox(b: u8) -> u8 {
-    // The inverse S-box is derived by inverting SBOX; a 256-entry scan is
-    // fine for a simulation substrate and avoids a second hand-typed table.
-    SBOX.iter().position(|&v| v == b).unwrap() as u8
 }
 
 #[inline]
@@ -248,15 +437,21 @@ mod tests {
     fn fips197_appendix_b_vector() {
         // FIPS-197 Appendix B worked example.
         let aes = Aes128::new(&hex16("2b7e151628aed2a6abf7158809cf4f3c"));
-        let ct = aes.encrypt_block(&hex16("3243f6a8885a308d313198a2e0370734"));
-        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let expect = hex16("3925841d02dc09fbdc118597196a0b32");
+        assert_eq!(aes.encrypt_block(&pt), expect);
+        assert_eq!(aes.encrypt_block_reference(&pt), expect);
     }
 
     #[test]
     fn fips197_appendix_c1_vector() {
         let aes = Aes128::new(&hex16("000102030405060708090a0b0c0d0e0f"));
-        let ct = aes.encrypt_block(&hex16("00112233445566778899aabbccddeeff"));
-        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let expect = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(aes.encrypt_block(&pt), expect);
+        assert_eq!(aes.encrypt_block_reference(&pt), expect);
+        assert_eq!(aes.decrypt_block(&expect), pt);
+        assert_eq!(aes.decrypt_block_reference(&expect), pt);
     }
 
     #[test]
@@ -282,6 +477,36 @@ mod tests {
                 *b = trial.wrapping_mul(31).wrapping_add(i as u8);
             }
             assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn table_path_matches_reference_path() {
+        // Dense deterministic sweep; the proptest suite covers random
+        // (key, block) pairs on top of this.
+        for seed in 0u8..16 {
+            let mut key = [0u8; 16];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = seed.wrapping_mul(97).wrapping_add(13 * i as u8);
+            }
+            let aes = Aes128::new(&key);
+            let mut block = [0u8; 16];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = seed.wrapping_add(51u8.wrapping_mul(i as u8));
+            }
+            let ct = aes.encrypt_block(&block);
+            assert_eq!(ct, aes.encrypt_block_reference(&block), "seed {seed}");
+            assert_eq!(aes.decrypt_block(&ct), aes.decrypt_block_reference(&ct));
+        }
+    }
+
+    #[test]
+    fn blocks4_matches_single_block_calls() {
+        let aes = Aes128::new(&[9u8; 16]);
+        let blocks = [[1u8; 16], [2; 16], [3; 16], [4; 16]];
+        let batch = aes.encrypt_blocks4(&blocks);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(batch[i], aes.encrypt_block(b));
         }
     }
 

@@ -10,6 +10,11 @@
 //! The per-line counter increments on every writeback, guaranteeing pad
 //! uniqueness; counters are in turn protected from replay by the integrity
 //! tree (see `synergy-secure`).
+//!
+//! Pad derivation batches all four blocks through
+//! [`Aes128::encrypt_blocks4`], the T-table batch entry point, so a full
+//! 64-byte pad is one call. [`pad_with_cipher_reference`] keeps the scalar
+//! per-byte AES path for equivalence testing and benchmarking.
 
 use crate::{Aes128, CacheLine, EncryptionKey, LINE_BYTES};
 
@@ -21,19 +26,38 @@ pub fn one_time_pad(key: &EncryptionKey, addr: u64, counter: u64) -> CacheLine {
     pad_with_cipher(&Aes128::new(key.as_bytes()), addr, counter)
 }
 
-/// Pad derivation when the caller already holds an expanded [`Aes128`]
-/// (avoids re-running the key schedule per line).
-pub fn pad_with_cipher(aes: &Aes128, addr: u64, counter: u64) -> CacheLine {
-    let mut pad = [0u8; LINE_BYTES];
-    for i in 0..4u8 {
-        let mut block = [0u8; 16];
+/// The four counter-mode block inputs for `(addr, counter)`.
+#[inline]
+fn pad_blocks(addr: u64, counter: u64) -> [[u8; 16]; 4] {
+    let mut blocks = [[0u8; 16]; 4];
+    for (i, block) in blocks.iter_mut().enumerate() {
         block[..8].copy_from_slice(&addr.to_be_bytes());
         // The counter occupies 56 bits in the paper's designs; we reserve
         // the final byte of the block for the block index.
         block[8..15].copy_from_slice(&counter.to_be_bytes()[1..8]);
-        block[15] = i;
-        let ct = aes.encrypt_block(&block);
-        pad[i as usize * 16..(i as usize + 1) * 16].copy_from_slice(&ct);
+        block[15] = i as u8;
+    }
+    blocks
+}
+
+/// Pad derivation when the caller already holds an expanded [`Aes128`]
+/// (avoids re-running the key schedule per line). The whole 64-byte pad is
+/// produced with one batched [`Aes128::encrypt_blocks4`] call.
+pub fn pad_with_cipher(aes: &Aes128, addr: u64, counter: u64) -> CacheLine {
+    let cts = aes.encrypt_blocks4(&pad_blocks(addr, counter));
+    let mut pad = [0u8; LINE_BYTES];
+    for (i, ct) in cts.iter().enumerate() {
+        pad[i * 16..(i + 1) * 16].copy_from_slice(ct);
+    }
+    CacheLine::from_bytes(pad)
+}
+
+/// [`pad_with_cipher`] via the scalar reference AES — the testing oracle.
+pub fn pad_with_cipher_reference(aes: &Aes128, addr: u64, counter: u64) -> CacheLine {
+    let mut pad = [0u8; LINE_BYTES];
+    for (i, block) in pad_blocks(addr, counter).iter().enumerate() {
+        let ct = aes.encrypt_block_reference(block);
+        pad[i * 16..(i + 1) * 16].copy_from_slice(&ct);
     }
     CacheLine::from_bytes(pad)
 }
@@ -83,6 +107,12 @@ impl LineCipher {
         plaintext.xor(&pad_with_cipher(&self.aes, addr, counter))
     }
 
+    /// [`LineCipher::encrypt`] via the scalar reference AES — kept for
+    /// equivalence tests and table-vs-reference benchmarks.
+    pub fn encrypt_reference(&self, addr: u64, counter: u64, plaintext: &CacheLine) -> CacheLine {
+        plaintext.xor(&pad_with_cipher_reference(&self.aes, addr, counter))
+    }
+
     /// Decrypts a ciphertext line under `(addr, counter)`.
     pub fn decrypt(&self, addr: u64, counter: u64, ciphertext: &CacheLine) -> CacheLine {
         self.encrypt(addr, counter, ciphertext)
@@ -103,6 +133,24 @@ mod tests {
         let ct = encrypt(&key(), 0x1000, 42, &pt);
         assert_ne!(ct, pt);
         assert_eq!(decrypt(&key(), 0x1000, 42, &ct), pt);
+    }
+
+    #[test]
+    fn table_pad_matches_reference_pad() {
+        let aes = Aes128::new(key().as_bytes());
+        for (addr, counter) in [(0u64, 0u64), (0x1000, 42), (u64::MAX, (1 << 56) - 1)] {
+            assert_eq!(
+                pad_with_cipher(&aes, addr, counter),
+                pad_with_cipher_reference(&aes, addr, counter)
+            );
+        }
+    }
+
+    #[test]
+    fn encrypt_matches_encrypt_reference() {
+        let cipher = LineCipher::new(&key());
+        let pt = CacheLine::from_bytes([0x19; 64]);
+        assert_eq!(cipher.encrypt(0x40, 7, &pt), cipher.encrypt_reference(0x40, 7, &pt));
     }
 
     #[test]

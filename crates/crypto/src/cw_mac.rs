@@ -11,14 +11,21 @@
 //! GF(2^64): the message is split into 64-bit words `m_1..m_n` and hashed as
 //! `Σ m_i · k^(n-i+1)` (a degree-n polynomial in the secret point `k`), then
 //! whitened with an AES-derived pad and truncated.
+//!
+//! The hash hot path multiplies by the fixed secret point `k` on every word,
+//! so [`CarterWegmanMac::new`] builds a [`Gf64Key`] — a 4-bit-window table
+//! (16 nibble positions × 16 entries × 8 bytes = 2 KiB, stored inline) that
+//! turns each multiply into 16 lookups + XORs. The bit-serial
+//! [`gf64_mul_reference`] is kept as the testing oracle.
 
 use crate::{Aes128, CacheLine, MacKey};
 
 /// Reduction polynomial for GF(2^64): x^64 + x^4 + x^3 + x + 1.
 const POLY: u64 = 0x1B;
 
-/// Multiplies two elements of GF(2^64) (carry-less multiply + reduction).
-pub fn gf64_mul(a: u64, b: u64) -> u64 {
+/// Multiplies two elements of GF(2^64) (bit-serial carry-less multiply +
+/// reduction) — the oracle for [`Gf64Key`]'s table path.
+pub fn gf64_mul_reference(a: u64, b: u64) -> u64 {
     let mut result = 0u64;
     let mut a = a;
     let mut b = b;
@@ -36,6 +43,67 @@ pub fn gf64_mul(a: u64, b: u64) -> u64 {
     result
 }
 
+/// Multiplies two elements of GF(2^64).
+///
+/// Alias of [`gf64_mul_reference`]; key-bound hot paths should use
+/// [`Gf64Key::mul`] instead.
+pub fn gf64_mul(a: u64, b: u64) -> u64 {
+    gf64_mul_reference(a, b)
+}
+
+/// A fixed GF(2^64) multiplicand `k` with its precomputed 4-bit-window
+/// multiplication table.
+///
+/// Row `j` holds `(n · x^(4·j)) × k` for every nibble value `n`, so by
+/// linearity `x × k` is the XOR of one lookup per nibble of `x`. The table
+/// is 2 KiB and lives inline in the struct.
+#[derive(Clone)]
+pub struct Gf64Key {
+    k: u64,
+    table: [[u64; 16]; 16],
+}
+
+impl core::fmt::Debug for Gf64Key {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Gf64Key(<evaluation point redacted>)")
+    }
+}
+
+impl Gf64Key {
+    /// Builds the window table for multiplication by `k`.
+    ///
+    /// Setup costs 64 reference multiplies (one per bit position); the
+    /// remaining entries follow by linearity.
+    pub fn new(k: u64) -> Self {
+        let mut table = [[0u64; 16]; 16];
+        for (j, row) in table.iter_mut().enumerate() {
+            let mut bit_products = [0u64; 4];
+            for (bit, p) in bit_products.iter_mut().enumerate() {
+                *p = gf64_mul_reference(1u64 << (4 * j + bit), k);
+            }
+            for n in 1usize..16 {
+                row[n] = row[n & (n - 1)] ^ bit_products[n.trailing_zeros() as usize];
+            }
+        }
+        Self { k, table }
+    }
+
+    /// The raw evaluation point `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Multiplies `x` by `k`: 16 nibble lookups + XORs.
+    #[inline]
+    pub fn mul(&self, x: u64) -> u64 {
+        let mut acc = 0u64;
+        for (j, row) in self.table.iter().enumerate() {
+            acc ^= row[(x >> (4 * j)) as usize & 0xf];
+        }
+        acc
+    }
+}
+
 /// A keyed Carter–Wegman MAC producing SGX-style 56-bit tags.
 ///
 /// ```
@@ -50,8 +118,8 @@ pub fn gf64_mul(a: u64, b: u64) -> u64 {
 #[derive(Clone)]
 pub struct CarterWegmanMac {
     aes: Aes128,
-    /// Secret evaluation point of the polynomial hash.
-    hash_key: u64,
+    /// Secret evaluation point of the polynomial hash, with its window table.
+    hash_key: Gf64Key,
 }
 
 impl core::fmt::Debug for CarterWegmanMac {
@@ -68,7 +136,7 @@ impl CarterWegmanMac {
     ///
     /// The polynomial evaluation point is derived by encrypting a fixed
     /// domain-separation block, so one `MacKey` safely drives both the hash
-    /// and the pad generator.
+    /// and the pad generator. The point's window table is built here, once.
     pub fn new(key: &MacKey) -> Self {
         let aes = Aes128::new(key.as_bytes());
         let mut block = [0u8; 16];
@@ -80,35 +148,63 @@ impl CarterWegmanMac {
             // preserves the universal-hash bound.
             hash_key = 1;
         }
-        Self { aes, hash_key }
+        Self {
+            aes,
+            hash_key: Gf64Key::new(hash_key),
+        }
     }
 
     /// Polynomial-evaluation hash of `data` (zero-padded to 8-byte words),
-    /// with the byte length mixed in as the final word.
+    /// with the byte length mixed in as the final word. Table path.
     fn poly_hash(&self, data: &[u8]) -> u64 {
         let mut acc = 0u64;
         for chunk in data.chunks(8) {
             let mut word = [0u8; 8];
             word[..chunk.len()].copy_from_slice(chunk);
-            acc = gf64_mul(acc ^ u64::from_be_bytes(word), self.hash_key);
+            acc = self.hash_key.mul(acc ^ u64::from_be_bytes(word));
         }
-        gf64_mul(acc ^ data.len() as u64, self.hash_key)
+        self.hash_key.mul(acc ^ data.len() as u64)
     }
 
-    /// Computes the 56-bit tag for `data` under nonce `(addr, counter)`.
-    pub fn tag(&self, addr: u64, counter: u64, data: &[u8]) -> u64 {
-        let digest = self.poly_hash(data);
+    /// [`CarterWegmanMac::poly_hash`] via the bit-serial oracle.
+    fn poly_hash_reference(&self, data: &[u8]) -> u64 {
+        let mut acc = 0u64;
+        for chunk in data.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            acc = gf64_mul_reference(acc ^ u64::from_be_bytes(word), self.hash_key.k());
+        }
+        gf64_mul_reference(acc ^ data.len() as u64, self.hash_key.k())
+    }
+
+    /// AES pad for the `(addr, counter)` nonce, truncated to 64 bits.
+    fn pad64(&self, addr: u64, counter: u64) -> u64 {
         let mut nonce = [0u8; 16];
         nonce[..8].copy_from_slice(&addr.to_be_bytes());
         nonce[8..].copy_from_slice(&counter.to_be_bytes());
         let pad = self.aes.encrypt_block(&nonce);
-        let pad64 = u64::from_be_bytes(pad[..8].try_into().unwrap());
-        (digest ^ pad64) & ((1 << TAG_BITS) - 1)
+        u64::from_be_bytes(pad[..8].try_into().unwrap())
+    }
+
+    /// Computes the 56-bit tag for `data` under nonce `(addr, counter)`.
+    pub fn tag(&self, addr: u64, counter: u64, data: &[u8]) -> u64 {
+        (self.poly_hash(data) ^ self.pad64(addr, counter)) & ((1 << TAG_BITS) - 1)
+    }
+
+    /// [`CarterWegmanMac::tag`] via the reference (bit-serial) hash — kept
+    /// for equivalence tests and table-vs-reference benchmarks.
+    pub fn tag_reference(&self, addr: u64, counter: u64, data: &[u8]) -> u64 {
+        (self.poly_hash_reference(data) ^ self.pad64(addr, counter)) & ((1 << TAG_BITS) - 1)
     }
 
     /// Tag for a 64-byte cacheline.
     pub fn line_tag(&self, addr: u64, counter: u64, line: &CacheLine) -> u64 {
         self.tag(addr, counter, line.as_bytes())
+    }
+
+    /// [`CarterWegmanMac::line_tag`] via the reference path.
+    pub fn line_tag_reference(&self, addr: u64, counter: u64, line: &CacheLine) -> u64 {
+        self.tag_reference(addr, counter, line.as_bytes())
     }
 
     /// Verifies a stored tag for a cacheline.
@@ -145,6 +241,31 @@ mod tests {
         // Multiplying by 2 is a shift with conditional reduction.
         assert_eq!(gf64_mul(1 << 63, 2), POLY);
         assert_eq!(gf64_mul(1, 2), 2);
+    }
+
+    #[test]
+    fn window_table_matches_reference() {
+        let ks = [1u64, 2, POLY, u64::MAX, 0xdeadbeefcafef00d, 1 << 63];
+        let xs = [0u64, 1, 2, 0xffff, u64::MAX, 0x0123456789abcdef, 1 << 63];
+        for &k in &ks {
+            let key = Gf64Key::new(k);
+            for &x in &xs {
+                assert_eq!(key.mul(x), gf64_mul_reference(x, k), "k={k:016x} x={x:016x}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_tag_matches_reference_tag() {
+        let m = mac();
+        let line = CacheLine::from_bytes([0x6E; 64]);
+        for (addr, counter) in [(0u64, 0u64), (0x2000, 9), (u64::MAX, 12345)] {
+            assert_eq!(
+                m.line_tag(addr, counter, &line),
+                m.line_tag_reference(addr, counter, &line)
+            );
+        }
+        assert_eq!(m.tag(7, 8, &[1, 2, 3]), m.tag_reference(7, 8, &[1, 2, 3]));
     }
 
     #[test]

@@ -4,6 +4,19 @@
 //! bit ordering of the GCM specification: within a 128-bit block, bit 0 is
 //! the most-significant bit of the first byte, and the reduction polynomial
 //! is x^128 + x^7 + x^2 + x + 1 (represented by the constant `R` below).
+//!
+//! Two implementations live here:
+//!
+//! * the school-book shift-and-add [`gf128_mul_reference`] (128 iterations
+//!   per block) and the free functions built on it — the **oracle** used by
+//!   the equivalence tests; and
+//! * [`GhashKey`], a per-key **8-bit-window table** (16 byte positions ×
+//!   256 entries × 16 bytes = 64 KiB per key, heap-allocated) built once at
+//!   key setup. A block multiply by `H` then costs 16 table lookups and 15
+//!   XORs — no per-bit loop and no explicit reduction, because reduction is
+//!   baked into the precomputed products. This is the classic software-GCM
+//!   technique (cf. the "simple, 64 KiB" variant in Shoup's and OpenSSL's
+//!   GHASH implementations) and is what the per-line tag hot path uses.
 
 /// The GCM reduction constant: x^128 ≡ x^7 + x^2 + x + 1, in the GCM bit
 /// order this is the byte 0xE1 followed by fifteen zero bytes.
@@ -12,8 +25,8 @@ const R: u128 = 0xe1 << 120;
 /// Multiplies two elements of GF(2^128) in the GCM bit ordering.
 ///
 /// This is the school-book shift-and-add algorithm from SP 800-38D
-/// §6.3 — adequate for a simulation substrate.
-pub fn gf128_mul(x: u128, y: u128) -> u128 {
+/// §6.3 — retained as the oracle for [`GhashKey`]'s table path.
+pub fn gf128_mul_reference(x: u128, y: u128) -> u128 {
     let mut z = 0u128;
     let mut v = x;
     for i in 0..128 {
@@ -29,13 +42,112 @@ pub fn gf128_mul(x: u128, y: u128) -> u128 {
     z
 }
 
+/// Multiplies two elements of GF(2^128) in the GCM bit ordering.
+///
+/// Alias of [`gf128_mul_reference`]; key-bound hot paths should use
+/// [`GhashKey::mul`] instead.
+pub fn gf128_mul(x: u128, y: u128) -> u128 {
+    gf128_mul_reference(x, y)
+}
+
+/// A GHASH subkey `H` with its precomputed 8-bit-window multiplication
+/// table.
+///
+/// For each big-endian byte position `pos` (0 = most significant) the table
+/// row `table[pos]` holds `(b · x^(8·pos)) × H` for every byte value `b` —
+/// in the GCM representation that operand is the `u128` with byte `pos`
+/// equal to `b`. By linearity of GF(2^128) multiplication,
+/// `x × H = XOR over pos of table[pos][byte_pos(x)]`.
+///
+/// The table is 64 KiB and boxed, so a `GhashKey` is cheap to move; cloning
+/// copies the table.
+#[derive(Clone)]
+pub struct GhashKey {
+    h: u128,
+    table: Box<[[u128; 256]; 16]>,
+}
+
+impl core::fmt::Debug for GhashKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "GhashKey(<subkey redacted>)")
+    }
+}
+
+impl GhashKey {
+    /// Builds the per-key table from the hash subkey `H = AES_K(0^128)`.
+    ///
+    /// Setup performs 128 reference multiplies (one per bit position, for
+    /// `bit_products`) and fills the remaining 4080 entries by XOR via
+    /// linearity: `table[pos][b] = table[pos][b without lowest bit] ^
+    /// table[pos][lowest bit of b]`.
+    pub fn new(h: u128) -> Self {
+        let mut table = Box::new([[0u128; 256]; 16]);
+        for pos in 0..16 {
+            // Product of H with each single-bit byte at this position.
+            let mut bit_products = [0u128; 8];
+            for (bit, p) in bit_products.iter_mut().enumerate() {
+                let operand = 1u128 << (120 - 8 * pos + bit);
+                *p = gf128_mul_reference(operand, h);
+            }
+            let row = &mut table[pos];
+            for b in 1usize..256 {
+                row[b] = row[b & (b - 1)] ^ bit_products[b.trailing_zeros() as usize];
+            }
+        }
+        Self { h, table }
+    }
+
+    /// The raw hash subkey `H`.
+    pub fn h(&self) -> u128 {
+        self.h
+    }
+
+    /// Multiplies `x` by the subkey `H`: 16 table lookups + XORs.
+    #[inline]
+    pub fn mul(&self, x: u128) -> u128 {
+        let bytes = x.to_be_bytes();
+        let mut acc = 0u128;
+        for (pos, &b) in bytes.iter().enumerate() {
+            acc ^= self.table[pos][b as usize];
+        }
+        acc
+    }
+
+    /// Computes GHASH over complete 16-byte blocks using the table.
+    pub fn ghash_blocks(&self, blocks: impl IntoIterator<Item = u128>) -> u128 {
+        let mut y = 0u128;
+        for x in blocks {
+            y = self.mul(y ^ x);
+        }
+        y
+    }
+
+    /// Table-driven equivalent of [`ghash`]: full GCM-style GHASH over AAD
+    /// and data with the trailing length block.
+    pub fn ghash(&self, aad: &[u8], data: &[u8]) -> u128 {
+        let mut y = 0u128;
+        let mut absorb = |bytes: &[u8]| {
+            for chunk in bytes.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                y = self.mul(y ^ u128::from_be_bytes(block));
+            }
+        };
+        absorb(aad);
+        absorb(data);
+        let len_block = ((aad.len() as u128 * 8) << 64) | (data.len() as u128 * 8);
+        self.mul(y ^ len_block)
+    }
+}
+
 /// Computes GHASH over a sequence of complete 16-byte blocks.
 ///
 /// `Y_0 = 0; Y_i = (Y_{i-1} XOR X_i) * H` and the result is `Y_n`.
+/// Reference path; hot paths use [`GhashKey::ghash_blocks`].
 pub fn ghash_blocks(h: u128, blocks: impl IntoIterator<Item = u128>) -> u128 {
     let mut y = 0u128;
     for x in blocks {
-        y = gf128_mul(y ^ x, h);
+        y = gf128_mul_reference(y ^ x, h);
     }
     y
 }
@@ -43,19 +155,20 @@ pub fn ghash_blocks(h: u128, blocks: impl IntoIterator<Item = u128>) -> u128 {
 /// Computes the full GCM-style GHASH over additional authenticated data and
 /// ciphertext: both are zero-padded to 16-byte boundaries, then a final
 /// length block `len(aad) || len(data)` (bit lengths, big-endian) is mixed in.
+/// Reference path; hot paths use [`GhashKey::ghash`].
 pub fn ghash(h: u128, aad: &[u8], data: &[u8]) -> u128 {
     let mut y = 0u128;
     let mut absorb = |bytes: &[u8]| {
         for chunk in bytes.chunks(16) {
             let mut block = [0u8; 16];
             block[..chunk.len()].copy_from_slice(chunk);
-            y = gf128_mul(y ^ u128::from_be_bytes(block), h);
+            y = gf128_mul_reference(y ^ u128::from_be_bytes(block), h);
         }
     };
     absorb(aad);
     absorb(data);
     let len_block = ((aad.len() as u128 * 8) << 64) | (data.len() as u128 * 8);
-    gf128_mul(y ^ len_block, h)
+    gf128_mul_reference(y ^ len_block, h)
 }
 
 #[cfg(test)]
@@ -103,6 +216,41 @@ mod tests {
     }
 
     #[test]
+    fn table_mul_matches_reference() {
+        let hs = [
+            0x66e94bd4ef8a2c3b_884cfa59ca342b2eu128,
+            1u128 << 127,
+            1u128,
+            u128::MAX,
+            0xb83b533708bf535d_0aa6e52980d53b78,
+        ];
+        let xs = [
+            0u128,
+            1,
+            1 << 127,
+            u128::MAX,
+            0x0388dace60b6a392_f328c2b971b2fe78,
+            0x5e2ec746917062882c85b0685353deb7u128,
+        ];
+        for &h in &hs {
+            let key = GhashKey::new(h);
+            for &x in &xs {
+                assert_eq!(key.mul(x), gf128_mul_reference(x, h), "h={h:032x} x={x:032x}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_ghash_matches_reference_ghash() {
+        let h = 0x66e94bd4ef8a2c3b_884cfa59ca342b2eu128;
+        let key = GhashKey::new(h);
+        let data: Vec<u8> = (0u8..77).collect();
+        let aad: Vec<u8> = (0u8..13).collect();
+        assert_eq!(key.ghash(&aad, &data), ghash(h, &aad, &data));
+        assert_eq!(key.ghash(&[], &[]), ghash(h, &[], &[]));
+    }
+
+    #[test]
     fn ghash_gcm_spec_test_case_2() {
         // GCM spec test case 2: H = AES_0(0), C = 0388dace60b6a392f328c2b971b2fe78.
         // GHASH(H, {}, C) is the value that, XORed with E_K(J0), yields the
@@ -110,10 +258,10 @@ mod tests {
         // J0 = 0^96 || 1 under the zero key is 58e2fccefa7e3061367f1d57a4e7455a.
         let h = 0x66e94bd4ef8a2c3b_884cfa59ca342b2eu128;
         let c = 0x0388dace60b6a392_f328c2b971b2fe78u128.to_be_bytes();
-        let g = ghash(h, &[], &c);
         let ek_j0 = 0x58e2fccefa7e3061_367f1d57a4e7455au128;
-        let tag = g ^ ek_j0;
-        assert_eq!(tag, 0xab6e47d42cec13bd_f53a67b21257bddf);
+        for g in [ghash(h, &[], &c), GhashKey::new(h).ghash(&[], &c)] {
+            assert_eq!(g ^ ek_j0, 0xab6e47d42cec13bd_f53a67b21257bddf);
+        }
     }
 
     #[test]
@@ -136,5 +284,16 @@ mod tests {
         // ghash() additionally mixes the length block.
         let len_block = (32u128) * 8;
         assert_eq!(ghash(h, &[], &data), gf128_mul(via_blocks ^ len_block, h));
+    }
+
+    #[test]
+    fn table_blocks_agrees_with_reference_blocks() {
+        let h = 0xdeadbeefcafef00d_0123456789abcdefu128;
+        let key = GhashKey::new(h);
+        let blocks = [1u128, 2, 3, u128::MAX, 0x5555 << 64];
+        assert_eq!(
+            key.ghash_blocks(blocks.iter().copied()),
+            ghash_blocks(h, blocks.iter().copied())
+        );
     }
 }

@@ -11,11 +11,18 @@
 //! In SYNERGY this same tag doubles as the chip-failure detection code: any
 //! corruption of the stored line or tag is detected except with probability
 //! 2^-64 per comparison.
+//!
+//! The tag path is table-driven: [`Gmac::new`] builds a [`GhashKey`]
+//! (64 KiB 8-bit-window table) once, so each line tag costs 6 table-driven
+//! GF(2^128) multiplies plus one T-table AES encryption. The bit-serial
+//! path is kept as [`Gmac::tag128_reference`] / [`Gmac::line_tag_reference`]
+//! for equivalence testing and benchmarking.
 
-use crate::ghash::ghash;
+use crate::ghash::{ghash, GhashKey};
 use crate::{Aes128, CacheLine, MacKey};
 
-/// A keyed GMAC instance (hash subkey derived once from the MAC key).
+/// A keyed GMAC instance (hash subkey and its multiplication table derived
+/// once from the MAC key).
 ///
 /// ```
 /// use synergy_crypto::{gmac::Gmac, CacheLine, MacKey};
@@ -30,8 +37,8 @@ use crate::{Aes128, CacheLine, MacKey};
 #[derive(Clone)]
 pub struct Gmac {
     aes: Aes128,
-    /// GHASH subkey H = AES_K(0^128).
-    h: u128,
+    /// GHASH subkey H = AES_K(0^128) with its precomputed window table.
+    hkey: GhashKey,
 }
 
 impl core::fmt::Debug for Gmac {
@@ -41,24 +48,44 @@ impl core::fmt::Debug for Gmac {
 }
 
 impl Gmac {
-    /// Creates a GMAC instance from a 128-bit MAC key.
+    /// Creates a GMAC instance from a 128-bit MAC key. This derives the key
+    /// schedule and builds the GHASH window table — one-time cost, amortized
+    /// over every subsequent tag.
     pub fn new(key: &MacKey) -> Self {
         let aes = Aes128::new(key.as_bytes());
         let h = u128::from_be_bytes(aes.encrypt_block(&[0u8; 16]));
-        Self { aes, h }
+        Self {
+            aes,
+            hkey: GhashKey::new(h),
+        }
     }
 
-    /// Computes the full 128-bit GCM tag for `data` under the nonce
-    /// `(addr, counter)`.
+    /// The pre-counter block `J0` and AAD for the `(addr, counter)` nonce.
     ///
     /// The nonce is encoded as a 96-bit IV `addr (64b) || counter lower 32b`
     /// with the counter's upper bits folded into the AAD, matching GCM's
     /// 96-bit-IV fast path (`J0 = IV || 0^31 || 1`).
-    pub fn tag128(&self, addr: u64, counter: u64, data: &[u8]) -> u128 {
+    #[inline]
+    fn nonce_parts(addr: u64, counter: u64) -> (u128, [u8; 4]) {
         let j0: u128 = ((addr as u128) << 64) | ((counter as u128 & 0xffff_ffff) << 32) | 1;
-        let aad = (counter >> 32).to_be_bytes();
-        let g = ghash(self.h, &aad, data);
+        let aad = ((counter >> 32) as u32).to_be_bytes();
+        (j0, aad)
+    }
+
+    /// Computes the full 128-bit GCM tag for `data` under the nonce
+    /// `(addr, counter)` via the table-driven GHASH.
+    pub fn tag128(&self, addr: u64, counter: u64, data: &[u8]) -> u128 {
+        let (j0, aad) = Self::nonce_parts(addr, counter);
+        let g = self.hkey.ghash(&aad, data);
         g ^ self.aes.encrypt_u128(j0)
+    }
+
+    /// [`Gmac::tag128`] computed with the bit-serial GHASH oracle — kept for
+    /// equivalence tests and table-vs-reference benchmarks.
+    pub fn tag128_reference(&self, addr: u64, counter: u64, data: &[u8]) -> u128 {
+        let (j0, aad) = Self::nonce_parts(addr, counter);
+        let g = ghash(self.hkey.h(), &aad, data);
+        g ^ u128::from_be_bytes(self.aes.encrypt_block_reference(&j0.to_be_bytes()))
     }
 
     /// Computes the 64-bit truncated GMAC used throughout the paper.
@@ -69,6 +96,11 @@ impl Gmac {
     /// Tag for a 64-byte data cacheline: MAC(addr, counter, ciphertext).
     pub fn line_tag(&self, addr: u64, counter: u64, line: &CacheLine) -> u64 {
         self.tag64(addr, counter, line.as_bytes())
+    }
+
+    /// [`Gmac::line_tag`] via the reference (bit-serial) path.
+    pub fn line_tag_reference(&self, addr: u64, counter: u64, line: &CacheLine) -> u64 {
+        (self.tag128_reference(addr, counter, line.as_bytes()) >> 64) as u64
     }
 
     /// Verifies a stored 64-bit tag for a data cacheline.
@@ -91,7 +123,7 @@ impl Gmac {
 /// One-shot convenience: compute the 64-bit GMAC of a cacheline.
 ///
 /// Prefer holding a [`Gmac`] when computing many tags — the key schedule and
-/// hash subkey are derived once per instance.
+/// hash-subkey table are derived once per instance.
 pub fn compute(key: &MacKey, addr: u64, counter: u64, line: &CacheLine) -> u64 {
     Gmac::new(key).line_tag(addr, counter, line)
 }
@@ -113,6 +145,22 @@ mod tests {
     fn deterministic() {
         let line = CacheLine::from_bytes([1; 64]);
         assert_eq!(gmac().line_tag(10, 20, &line), gmac().line_tag(10, 20, &line));
+    }
+
+    #[test]
+    fn table_tag_matches_reference_tag() {
+        let g = gmac();
+        let line = CacheLine::from_bytes([0xA7; 64]);
+        for (addr, counter) in [(0u64, 0u64), (0x4000, 9), (u64::MAX, u64::MAX), (1, 1 << 40)] {
+            assert_eq!(
+                g.tag128(addr, counter, line.as_bytes()),
+                g.tag128_reference(addr, counter, line.as_bytes())
+            );
+            assert_eq!(
+                g.line_tag(addr, counter, &line),
+                g.line_tag_reference(addr, counter, &line)
+            );
+        }
     }
 
     #[test]

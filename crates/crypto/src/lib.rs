@@ -16,6 +16,16 @@
 //! * **The AES-128 block cipher** ([`aes`]) underlying both, implemented
 //!   per FIPS-197 and validated against the published test vectors.
 //!
+//! Each primitive ships in two forms: a straightforward **reference**
+//! implementation (bit-serial field multiplies, per-byte AES rounds —
+//! exported with `*_reference` names) that serves as the testing oracle,
+//! and a **table-driven** hot path (T-table AES, an 8-bit-window GHASH key
+//! table, a 4-bit-window GF(2^64) key table) built once at key setup and
+//! used by every keyed instance ([`Aes128`], [`gmac::Gmac`],
+//! [`cw_mac::CarterWegmanMac`], [`ctr::LineCipher`]). Proptest suites
+//! assert the two paths agree on random inputs and on the published
+//! known-answer vectors.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -49,6 +59,8 @@ pub mod gmac;
 mod line;
 
 pub use aes::Aes128;
+pub use cw_mac::Gf64Key;
+pub use ghash::GhashKey;
 pub use line::CacheLine;
 
 /// Size in bytes of a memory cacheline (fixed at 64 throughout the paper).

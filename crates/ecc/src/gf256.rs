@@ -91,6 +91,54 @@ pub fn log(a: u8) -> usize {
     tables().log[a as usize] as usize
 }
 
+/// Builds the 256-entry multiplication row for a fixed coefficient:
+/// `row[x] = coeff · x`. One log lookup for the coefficient plus one
+/// exp lookup per entry — after which multiplying *any* byte by `coeff`
+/// is a single indexed load. This is what the Reed–Solomon encoder and
+/// syndrome loops use to avoid the double-log-lookup of [`mul`] per byte.
+pub fn mul_row(coeff: u8) -> [u8; 256] {
+    let mut row = [0u8; 256];
+    if coeff == 0 {
+        return row;
+    }
+    let t = tables();
+    let lc = t.log[coeff as usize] as usize;
+    for (x, r) in row.iter_mut().enumerate().skip(1) {
+        *r = t.exp[lc + t.log[x] as usize];
+    }
+    row
+}
+
+/// Length at which building a [`mul_row`] (256 table stores) pays for
+/// itself versus per-byte [`mul`] calls.
+const MUL_SLICE_ROW_THRESHOLD: usize = 32;
+
+/// Multiplies every byte of `dst` by `coeff` in place.
+///
+/// Short slices use direct log/exp multiplies; long slices amortize a
+/// per-coefficient [`mul_row`] so the inner loop is one load per byte.
+pub fn mul_slice(dst: &mut [u8], coeff: u8) {
+    match coeff {
+        0 => dst.fill(0),
+        1 => {}
+        _ if dst.len() >= MUL_SLICE_ROW_THRESHOLD => {
+            let row = mul_row(coeff);
+            for d in dst.iter_mut() {
+                *d = row[*d as usize];
+            }
+        }
+        _ => {
+            let t = tables();
+            let lc = t.log[coeff as usize] as usize;
+            for d in dst.iter_mut() {
+                if *d != 0 {
+                    *d = t.exp[lc + t.log[*d as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
 /// Raises `a` to the power `e`.
 pub fn pow(a: u8, e: usize) -> u8 {
     if a == 0 {
@@ -193,5 +241,30 @@ mod tests {
     #[should_panic(expected = "no multiplicative inverse")]
     fn inv_zero_panics() {
         inv(0);
+    }
+
+    #[test]
+    fn mul_row_matches_mul_exhaustively() {
+        for coeff in 0..=255u8 {
+            let row = mul_row(coeff);
+            for x in 0..=255u8 {
+                assert_eq!(row[x as usize], mul(coeff, x), "coeff={coeff} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_elementwise_mul() {
+        // Cover both the short (direct) and long (row-amortized) paths.
+        for len in [0usize, 1, 5, 31, 32, 200] {
+            for coeff in [0u8, 1, 2, 0x1D, 0x80, 0xFF] {
+                let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+                let mut dst = src.clone();
+                mul_slice(&mut dst, coeff);
+                for (d, s) in dst.iter().zip(src.iter()) {
+                    assert_eq!(*d, mul(*s, coeff), "len={len} coeff={coeff}");
+                }
+            }
+        }
     }
 }

@@ -85,6 +85,12 @@ pub struct ReedSolomon {
     parity_len: usize,
     /// Generator polynomial, descending coefficient order, monic.
     gen: Vec<u8>,
+    /// Per-generator-coefficient multiplication rows (`gen[k+1] · x`),
+    /// turning the encode inner loop into one load per parity symbol.
+    enc_rows: Vec<[u8; 256]>,
+    /// Per-syndrome-index multiplication rows (`α^j · x`) for the Horner
+    /// step of syndrome evaluation.
+    synd_rows: Vec<[u8; 256]>,
 }
 
 impl ReedSolomon {
@@ -103,7 +109,11 @@ impl ReedSolomon {
         for i in 0..parity_len {
             gen = poly_mul(&gen, &[1, gf::alpha_pow(i)]);
         }
-        Ok(Self { data_len, parity_len, gen })
+        let enc_rows = gen[1..].iter().map(|&g| gf::mul_row(g)).collect();
+        let synd_rows = (0..parity_len)
+            .map(|j| gf::mul_row(gf::alpha_pow(j)))
+            .collect();
+        Ok(Self { data_len, parity_len, gen, enc_rows, synd_rows })
     }
 
     /// Number of data symbols per codeword.
@@ -121,6 +131,12 @@ impl ReedSolomon {
         self.data_len + self.parity_len
     }
 
+    /// The generator polynomial `g(x) = Π (x - α^i)`, descending
+    /// coefficient order, monic (`parity_len + 1` coefficients).
+    pub fn generator(&self) -> &[u8] {
+        &self.gen
+    }
+
     /// Maximum number of unknown-position symbol errors the code corrects.
     pub fn correctable_errors(&self) -> usize {
         self.parity_len / 2
@@ -135,15 +151,18 @@ impl ReedSolomon {
         if data.len() != self.data_len {
             return Err(RsError::LengthMismatch { expected: self.data_len, actual: data.len() });
         }
-        // Synthetic division of data·x^parity_len by the generator.
+        // Synthetic division of data·x^parity_len by the generator. Each
+        // step multiplies every generator coefficient by the same `coef`,
+        // so the precomputed per-coefficient rows make the inner loop a
+        // single indexed load per parity symbol.
         let mut rem = vec![0u8; self.parity_len];
         for &d in data {
             let coef = d ^ rem[0];
             rem.rotate_left(1);
             *rem.last_mut().unwrap() = 0;
             if coef != 0 {
-                for (r, &g) in rem.iter_mut().zip(self.gen[1..].iter()) {
-                    *r ^= gf::mul(g, coef);
+                for (r, row) in rem.iter_mut().zip(self.enc_rows.iter()) {
+                    *r ^= row[coef as usize];
                 }
             }
         }
@@ -163,10 +182,16 @@ impl ReedSolomon {
         Ok(cw)
     }
 
-    /// Computes the syndrome vector `S_j = c(α^j)`.
+    /// Computes the syndrome vector `S_j = c(α^j)` — Horner evaluation with
+    /// the per-`α^j` multiplication row doing the fold step.
     fn syndromes(&self, codeword: &[u8]) -> Vec<u8> {
-        (0..self.parity_len)
-            .map(|j| poly_eval(codeword, gf::alpha_pow(j)))
+        self.synd_rows
+            .iter()
+            .map(|row| {
+                codeword
+                    .iter()
+                    .fold(0u8, |acc, &c| row[acc as usize] ^ c)
+            })
             .collect()
     }
 
@@ -340,9 +365,7 @@ fn solve_magnitudes(synd: &[u8], coef_positions: &[usize]) -> Option<Vec<u8>> {
         a.swap(col, pivot);
         s.swap(col, pivot);
         let inv = gf::inv(a[col][col]);
-        for c in col..t {
-            a[col][c] = gf::mul(a[col][c], inv);
-        }
+        gf::mul_slice(&mut a[col][col..], inv);
         s[col] = gf::mul(s[col], inv);
         for r in 0..t {
             if r != col && a[r][col] != 0 {
@@ -380,7 +403,9 @@ fn poly_mul(a: &[u8], b: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Horner evaluation, descending coefficient order.
+/// Horner evaluation, descending coefficient order — oracle for the
+/// row-table syndrome loop.
+#[cfg(test)]
 fn poly_eval(poly: &[u8], x: u8) -> u8 {
     poly.iter().fold(0u8, |acc, &c| gf::mul(acc, x) ^ c)
 }
@@ -497,6 +522,18 @@ mod tests {
         assert!(ReedSolomon::new(16, 0).is_err());
         assert!(ReedSolomon::new(254, 2).is_err());
         assert!(ReedSolomon::new(253, 2).is_ok());
+    }
+
+    #[test]
+    fn row_table_syndromes_match_direct_evaluation() {
+        for (d, p) in [(16usize, 2usize), (12, 4), (32, 8)] {
+            let code = rs(d, p);
+            let cw: Vec<u8> = (0..d + p).map(|i| (i * 29 + 5) as u8).collect();
+            let direct: Vec<u8> = (0..p)
+                .map(|j| poly_eval(&cw, gf::alpha_pow(j)))
+                .collect();
+            assert_eq!(code.syndromes(&cw), direct, "({d},{p})");
+        }
     }
 
     #[test]
