@@ -21,11 +21,15 @@ fn main() {
         std::collections::HashMap::new();
     let mut sgx_all = Vec::new();
     let mut syn_all = Vec::new();
+    let mut metrics = MetricsSnapshot::new();
 
     for w in &workloads {
         let base = run_workload(DesignConfig::sgx_o(), w, 2);
         let sgx = run_workload(DesignConfig::sgx(), w, 2);
         let syn = run_workload(DesignConfig::synergy(), w, 2);
+        metrics.add_run("sgx_o", w.name, &base);
+        metrics.add_run("sgx", w.name, &sgx);
+        metrics.add_run("synergy", w.name, &syn);
         let sgx_rel = sgx.ipc / base.ipc;
         let syn_rel = syn.ipc / base.ipc;
         sgx_all.push(sgx_rel);
@@ -48,6 +52,9 @@ fn main() {
             let base = run_mix(DesignConfig::sgx_o(), &mix, 2);
             let sgx = run_mix(DesignConfig::sgx(), &mix, 2);
             let syn = run_mix(DesignConfig::synergy(), &mix, 2);
+            metrics.add_run("sgx_o", mix.name, &base);
+            metrics.add_run("sgx", mix.name, &sgx);
+            metrics.add_run("synergy", mix.name, &syn);
             let sgx_rel = sgx.ipc / base.ipc;
             let syn_rel = syn.ipc / base.ipc;
             sgx_all.push(sgx_rel);
@@ -91,4 +98,5 @@ fn main() {
         gmean(&sgx_all)
     );
     write_csv("fig08_performance", "workload,suite,sgx,sgx_o,synergy", &csv);
+    metrics.write("fig08_performance");
 }

@@ -5,12 +5,17 @@ use synergy_secure::DesignConfig;
 use synergy_trace::presets;
 
 fn main() {
+    let mut metrics = MetricsSnapshot::new();
     for name in ["mcf", "libquantum", "lbm", "milc", "pr-twi", "pr-web", "omnetpp"] {
         let w = presets::by_name(name).unwrap();
         let base = run_workload(DesignConfig::sgx_o(), &w, 2);
         let ns = run_workload(DesignConfig::non_secure(), &w, 2);
         let sgx = run_workload(DesignConfig::sgx(), &w, 2);
         let syn = run_workload(DesignConfig::synergy(), &w, 2);
+        metrics.add_run("sgx_o", name, &base);
+        metrics.add_run("non_secure", name, &ns);
+        metrics.add_run("sgx", name, &sgx);
+        metrics.add_run("synergy", name, &syn);
         println!(
             "{name:12} NS={:.2} SGX={:.2} SYN={:.2} | base ipc={:.2} apki(D/C/T/M/P r+w)={:.1}/{:.1}/{:.1}/{:.1}/{:.1} | syn edp={:.2}",
             ns.ipc / base.ipc,
@@ -25,4 +30,5 @@ fn main() {
             syn.edp() / base.edp(),
         );
     }
+    metrics.write("calibrate");
 }

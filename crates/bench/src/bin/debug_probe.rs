@@ -5,10 +5,18 @@ use synergy_secure::DesignConfig;
 use synergy_trace::presets;
 
 fn main() {
+    let mut metrics = MetricsSnapshot::new();
     for name in ["pr-web", "pr-twi"] {
         let w = presets::by_name(name).unwrap();
         for d in [DesignConfig::sgx(), DesignConfig::sgx_o()] {
             let r = run_workload(d.clone(), &w, 2);
+            // Full per-run component registry — this bin exists to expose
+            // internals, so keep every metric rather than the aggregate.
+            metrics.add_registry(
+                &format!("{name}/{}", d.name),
+                &r.telemetry.registry,
+                &r.telemetry.slowest,
+            );
             println!("{name:8} {:6} ipc={:.3} data={:.1} ctr={:.1} tree={:.1} mac={:.1} total={:.1} | dreads={} dwb={} cded={} cllc={} cmiss={} treef={} llc_hit%={:.0}",
                 d.name, r.ipc,
                 r.traffic.reads(RC::Data)+r.traffic.writes(RC::Data),
@@ -22,4 +30,5 @@ fn main() {
                 100.0*(1.0-r.llc.miss_ratio()));
         }
     }
+    metrics.write("debug_probe");
 }

@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
 use synergy_core::system::{run, SimResult, SystemConfig};
-use synergy_dram::DramConfig;
+use synergy_dram::{DramConfig, RequestClass};
+use synergy_obs::{export, MetricRegistry, Span};
 use synergy_secure::DesignConfig;
 use synergy_trace::{presets, MultiCoreTrace, WorkloadSpec};
 
@@ -106,6 +108,124 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// Directory for machine-readable metric snapshots
+/// (`target/experiments/metrics/`).
+pub fn metrics_dir() -> PathBuf {
+    let dir = experiments_dir().join("metrics");
+    fs::create_dir_all(&dir).expect("can create target/experiments/metrics");
+    dir
+}
+
+#[derive(Default)]
+struct DesignMetrics {
+    registry: MetricRegistry,
+    slowest: Vec<Span>,
+}
+
+/// Cross-run telemetry accumulator for one bench target.
+///
+/// Bench targets feed every [`SimResult`] into a snapshot (keyed by design,
+/// or any other grouping string) and write one JSON document plus per-key
+/// CSVs under [`metrics_dir`] at the end. Per-class DRAM latency histograms
+/// merge losslessly across workloads; the slowest-request span dump keeps
+/// the global top-K per key.
+pub struct MetricsSnapshot {
+    designs: BTreeMap<String, DesignMetrics>,
+    top_k: usize,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot retaining the 10 slowest requests per key.
+    pub fn new() -> Self {
+        Self::with_top_k(10)
+    }
+
+    /// An empty snapshot retaining the `top_k` slowest requests per key.
+    pub fn with_top_k(top_k: usize) -> Self {
+        Self { designs: BTreeMap::new(), top_k }
+    }
+
+    /// Folds one simulation run of `workload` into `design`'s aggregate:
+    /// per-class DRAM latency histograms and traffic counters, a
+    /// per-workload IPC gauge, and the slowest-request spans.
+    pub fn add_run(&mut self, design: &str, workload: &str, r: &SimResult) {
+        let d = self.designs.entry(design.to_string()).or_default();
+        for class in RequestClass::ALL {
+            let n = class.name();
+            d.registry.add_counter(&format!("dram.reads.{n}"), r.dram.reads(class));
+            d.registry.add_counter(&format!("dram.writes.{n}"), r.dram.writes(class));
+            d.registry
+                .merge_histogram(&format!("dram.read_latency.{n}"), r.dram.read_latency(class));
+            d.registry
+                .merge_histogram(&format!("dram.write_latency.{n}"), r.dram.write_latency(class));
+        }
+        d.registry.merge_histogram("dram.read_latency", &r.dram.read_latency_all());
+        d.registry.merge_histogram("dram.write_latency", &r.dram.write_latency_all());
+        d.registry.set_gauge(&format!("ipc.{workload}"), r.ipc);
+        d.registry.add_counter("spans.completed", r.telemetry.spans_completed);
+        d.registry.add_counter("spans.dropped", r.telemetry.spans_dropped);
+        self.merge_spans(design, &r.telemetry.slowest);
+    }
+
+    /// Stores a component registry verbatim under `key` (for probe bins
+    /// that want the full per-run metric set rather than an aggregate).
+    pub fn add_registry(&mut self, key: &str, registry: &MetricRegistry, spans: &[Span]) {
+        let d = self.designs.entry(key.to_string()).or_default();
+        d.registry = registry.clone();
+        self.merge_spans(key, spans);
+    }
+
+    fn merge_spans(&mut self, key: &str, spans: &[Span]) {
+        let d = self.designs.get_mut(key).expect("key was just inserted");
+        d.slowest.extend(spans.iter().cloned());
+        d.slowest.sort_by_key(|s| std::cmp::Reverse(s.total_latency()));
+        d.slowest.truncate(self.top_k);
+    }
+
+    /// Renders the whole snapshot as one JSON document:
+    /// `{"designs": {<key>: {"telemetry": ..., "slowest_spans": [...]}}}`.
+    pub fn to_json(&self) -> String {
+        let designs: Vec<String> = self
+            .designs
+            .iter()
+            .map(|(name, d)| {
+                format!(
+                    "\"{}\":{{\"telemetry\":{},\"slowest_spans\":{}}}",
+                    export::json_escape(name),
+                    export::registry_to_json(&d.registry),
+                    export::spans_to_json(&d.slowest)
+                )
+            })
+            .collect();
+        format!("{{\"designs\":{{{}}}}}", designs.join(","))
+    }
+
+    /// Writes `<name>.json` plus one `<name>.<key>.csv` per key under
+    /// [`metrics_dir`] and returns the JSON path.
+    pub fn write(&self, name: &str) -> PathBuf {
+        let dir = metrics_dir();
+        let json_path = dir.join(format!("{name}.json"));
+        export::write_file(&json_path, &self.to_json()).expect("can write metrics JSON");
+        for (key, d) in &self.designs {
+            let safe: String = key
+                .chars()
+                .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+                .collect();
+            let csv_path = dir.join(format!("{name}.{safe}.csv"));
+            export::write_file(&csv_path, &export::registry_to_csv(&d.registry))
+                .expect("can write metrics CSV");
+        }
+        println!("[metrics] {}", json_path.display());
+        json_path
+    }
+}
+
 /// Writes a CSV file of `rows` under `target/experiments/<name>.csv`.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     let path = experiments_dir().join(format!("{name}.csv"));
@@ -183,6 +303,25 @@ mod tests {
     fn env_defaults() {
         assert!(bench_insts() > 0);
         assert!(bench_devices() > 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_aggregates_and_renders() {
+        use synergy_obs::{SpanPhase, SpanTracer};
+        let mut t = SpanTracer::for_system();
+        t.start(1, 0x40, "data", SpanPhase::LlcMiss, 0);
+        t.complete(1, 50);
+        t.start(2, 0x80, "counter", SpanPhase::LlcMiss, 10);
+        t.complete(2, 100);
+        let mut reg = MetricRegistry::new();
+        reg.set_counter("x", 3);
+        let mut snap = MetricsSnapshot::with_top_k(1);
+        snap.add_registry("probe", &reg, &t.slowest(8));
+        let j = snap.to_json();
+        assert!(j.contains("\"probe\""), "{j}");
+        assert!(j.contains("\"x\":{\"kind\":\"counter\",\"value\":3}"), "{j}");
+        // top_k = 1 keeps only the slowest span (latency 90, not 50).
+        assert!(j.contains("\"latency\":90") && !j.contains("\"latency\":50"), "{j}");
     }
 
     #[test]

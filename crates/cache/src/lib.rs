@@ -166,6 +166,20 @@ impl CacheStats {
     }
 }
 
+impl synergy_obs::Observe for CacheStats {
+    fn observe(&self, prefix: &str, registry: &mut synergy_obs::MetricRegistry) {
+        use synergy_obs::metric_name;
+        registry.set_counter(&metric_name(prefix, "read_hits"), self.read_hits);
+        registry.set_counter(&metric_name(prefix, "read_misses"), self.read_misses);
+        registry.set_counter(&metric_name(prefix, "write_hits"), self.write_hits);
+        registry.set_counter(&metric_name(prefix, "write_misses"), self.write_misses);
+        registry.set_counter(&metric_name(prefix, "fills"), self.fills);
+        registry.set_counter(&metric_name(prefix, "evictions"), self.evictions);
+        registry.set_counter(&metric_name(prefix, "writebacks"), self.writebacks);
+        registry.set_gauge(&metric_name(prefix, "miss_ratio"), self.miss_ratio());
+    }
+}
+
 /// A write-back, write-allocate, true-LRU set-associative cache model.
 ///
 /// The cache tracks presence and dirtiness only — data contents live in the

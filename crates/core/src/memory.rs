@@ -147,6 +147,28 @@ pub struct MemoryStats {
     pub per_chip_corrections: [u64; CHIPS],
 }
 
+impl synergy_obs::Observe for MemoryStats {
+    fn observe(&self, prefix: &str, registry: &mut synergy_obs::MetricRegistry) {
+        use synergy_obs::metric_name;
+        registry.set_counter(&metric_name(prefix, "reads"), self.reads);
+        registry.set_counter(&metric_name(prefix, "writes"), self.writes);
+        registry.set_counter(&metric_name(prefix, "mac_computations"), self.mac_computations);
+        registry.set_counter(&metric_name(prefix, "corrections"), self.corrections);
+        registry.set_counter(
+            &metric_name(prefix, "parity_reconstructions"),
+            self.parity_reconstructions,
+        );
+        registry.set_counter(
+            &metric_name(prefix, "preemptive_corrections"),
+            self.preemptive_corrections,
+        );
+        registry.set_counter(&metric_name(prefix, "attacks_declared"), self.attacks_declared);
+        for (chip, v) in self.per_chip_corrections.iter().enumerate() {
+            registry.set_counter(&metric_name(prefix, &format!("corrections.chip{chip}")), *v);
+        }
+    }
+}
+
 /// Which line a parent-counter lookup refers to.
 #[derive(Debug, Clone, Copy)]
 enum Parent {

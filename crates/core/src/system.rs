@@ -27,6 +27,7 @@ use synergy_cache::{CacheConfig, SetAssocCache};
 use synergy_dram::{
     AccessKind, DramConfig, EnergyBreakdown, MemorySystem, Request, RequestClass,
 };
+use synergy_obs::{MetricRegistry, Observe, Span, SpanPhase, SpanTracer};
 use synergy_secure::layout::Region;
 use synergy_secure::{DesignConfig, SecureEngine};
 use synergy_trace::{MultiCoreTrace, TraceRecord};
@@ -82,6 +83,27 @@ pub struct SystemConfig {
     /// steady state; without warm-up a short simulation would see no
     /// capacity evictions and hence no writeback traffic.
     pub warmup_records_per_core: u64,
+    /// Telemetry collection (spans, epoch time-series).
+    pub telemetry: TelemetryConfig,
+}
+
+/// Telemetry collection configuration.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Memory cycles between epoch samples of the metric registry into the
+    /// time-series exported with the run (0 disables sampling).
+    pub epoch_mem_cycles: u64,
+    /// Whether to trace individual request lifecycles (bounded cost:
+    /// fixed-capacity open table + ring + top-K).
+    pub trace_spans: bool,
+    /// How many slowest requests to retain with per-phase breakdowns.
+    pub top_k: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self { epoch_mem_cycles: 0, trace_spans: true, top_k: 16 }
+    }
 }
 
 impl SystemConfig {
@@ -99,6 +121,7 @@ impl SystemConfig {
             llc_hit_latency: 8,
             core_power_w: 12.0,
             warmup_records_per_core: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -158,6 +181,27 @@ pub struct SimResult {
     pub metadata_cache: synergy_cache::CacheStats,
     /// LLC statistics over the measured phase.
     pub llc: synergy_cache::CacheStats,
+    /// Telemetry gathered during the run (metric registry, epoch
+    /// time-series, slowest-request spans).
+    pub telemetry: Telemetry,
+}
+
+/// Telemetry attached to a [`SimResult`].
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Every component's metrics, published at end of run (and at each
+    /// epoch boundary when sampling is enabled — see
+    /// [`MetricRegistry::epochs`]).
+    pub registry: MetricRegistry,
+    /// The slowest traced requests, descending by latency, with
+    /// per-phase cycle breakdowns.
+    pub slowest: Vec<Span>,
+    /// Recently completed request spans, oldest first.
+    pub recent: Vec<Span>,
+    /// Spans completed by the tracer.
+    pub spans_completed: u64,
+    /// Spans dropped because the tracer's open table was full.
+    pub spans_dropped: u64,
 }
 
 impl SimResult {
@@ -251,6 +295,97 @@ impl Core {
     }
 }
 
+/// The memory side of the system — DRAM, its back-pressure queue, the
+/// outstanding-load map, request-id allocation and the request tracer —
+/// bundled so the issue path threads one mutable handle instead of five
+/// parallel loose references.
+struct MemSide {
+    dram: MemorySystem,
+    /// Requests the DRAM queues rejected, replayed in order.
+    deferred: VecDeque<Request>,
+    /// Request id → (core, rob position) for loads blocking retirement.
+    load_map: HashMap<u64, (usize, u64)>,
+    next_id: u64,
+    tracer: SpanTracer,
+}
+
+impl MemSide {
+    fn new(dram: MemorySystem, tracer: SpanTracer) -> Self {
+        Self {
+            dram,
+            deferred: VecDeque::new(),
+            load_map: HashMap::new(),
+            next_id: 1,
+            tracer,
+        }
+    }
+
+    /// Advances DRAM one cycle: delivers completions (closing spans and
+    /// unblocking loads) and replays deferred requests into freed queues.
+    fn tick(&mut self, cores: &mut [Core], cycle: u64) {
+        for completion in self.dram.tick() {
+            self.tracer
+                .event(completion.id, SpanPhase::DramIssue, completion.issue_cycle);
+            self.tracer.complete(completion.id, cycle);
+            if let Some((core, pos)) = self.load_map.remove(&completion.id) {
+                cores[core].mark_progress(pos);
+            }
+        }
+        while let Some(req) = self.deferred.front().copied() {
+            if self.dram.enqueue(req) {
+                self.tracer.event(req.id, SpanPhase::DramEnqueue, cycle);
+                self.deferred.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Enqueues an access (deferring on full queues) and traces reads
+    /// through their lifecycle phases.
+    fn push_request(&mut self, spec: synergy_secure::AccessSpec, cycle: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        if spec.kind == AccessKind::Read {
+            // Writes are posted (no completion event to close the span),
+            // so only reads are traced.
+            self.tracer
+                .start(id, spec.addr, spec.class.name(), SpanPhase::LlcMiss, cycle);
+            self.tracer.event(id, SpanPhase::EngineExpand, cycle);
+            if spec.class != RequestClass::Data {
+                self.tracer.event(id, SpanPhase::MetaCacheProbe, cycle);
+            }
+        }
+        let req = Request { id, addr: spec.addr, kind: spec.kind, class: spec.class, core: 0 };
+        if !self.deferred.is_empty() || !self.dram.enqueue(req) {
+            self.deferred.push_back(req);
+        } else {
+            self.tracer.event(id, SpanPhase::DramEnqueue, cycle);
+        }
+        id
+    }
+
+    fn has_backpressure(&self) -> bool {
+        !self.deferred.is_empty()
+    }
+}
+
+/// Publishes every component's statistics into the registry under the
+/// standard prefixes.
+fn publish_components(
+    registry: &mut MetricRegistry,
+    dram: &synergy_dram::DramStats,
+    llc: &synergy_cache::CacheStats,
+    engine: &SecureEngine,
+) {
+    dram.observe("dram", registry);
+    llc.observe("llc", registry);
+    engine.stats().observe("secure.engine", registry);
+    engine
+        .metadata_cache_stats()
+        .observe("secure.metadata_cache", registry);
+}
+
 /// Runs one workload through the full system.
 ///
 /// # Errors
@@ -276,7 +411,7 @@ pub fn run(
     if cfg.design.dual_channel_lockstep() {
         dram_cfg.channels = (dram_cfg.channels / 2).max(1);
     }
-    let mut dram = MemorySystem::new(dram_cfg)
+    let dram = MemorySystem::new(dram_cfg)
         .map_err(|e| SystemError::InvalidConfig { reason: e.to_string() })?;
     let mut llc = SetAssocCache::new(cfg.llc);
     let mut engine = SecureEngine::new(cfg.design.clone(), cfg.data_capacity);
@@ -284,9 +419,13 @@ pub fn run(
     warmup(cfg, trace, &mut llc, &mut engine);
 
     let mut cores: Vec<Core> = (0..cfg.cores).map(|_| Core::new(instructions_per_core)).collect();
-    let mut deferred: VecDeque<Request> = VecDeque::new();
-    let mut load_map: HashMap<u64, (usize, u64)> = HashMap::new();
-    let mut next_id: u64 = 1;
+    let tracer = if cfg.telemetry.trace_spans {
+        SpanTracer::new(4096, 256, cfg.telemetry.top_k)
+    } else {
+        SpanTracer::disabled()
+    };
+    let mut mem = MemSide::new(dram, tracer);
+    let mut registry = MetricRegistry::new();
 
     let mut mem_cycle: u64 = 0;
     // Generous deadlock guard: a core retiring one instruction per 1000
@@ -296,21 +435,8 @@ pub fn run(
         .saturating_add(10_000_000);
 
     while cores.iter().any(|c| !c.finished()) {
-        // 1. DRAM advances; reads complete.
-        for completion in dram.tick() {
-            if let Some((core, pos)) = load_map.remove(&completion.id) {
-                cores[core].mark_progress(pos);
-            }
-        }
-
-        // 2. Drain deferred DRAM requests (back-pressure from full queues).
-        while let Some(req) = deferred.front() {
-            if dram.enqueue(*req) {
-                deferred.pop_front();
-            } else {
-                break;
-            }
-        }
+        // 1–2. DRAM advances; reads complete; deferred requests replay.
+        mem.tick(&mut cores, mem_cycle);
 
         // 3. LLC-hit loads complete.
         for core in cores.iter_mut() {
@@ -339,15 +465,20 @@ pub fn run(
                     trace,
                     &mut llc,
                     &mut engine,
-                    &mut dram,
-                    &mut deferred,
-                    &mut load_map,
-                    &mut next_id,
+                    &mut mem,
                 );
             }
         }
 
         mem_cycle += 1;
+
+        // 5. Epoch boundary: snapshot every scalar metric into the
+        // time-series.
+        let epoch = cfg.telemetry.epoch_mem_cycles;
+        if epoch > 0 && mem_cycle.is_multiple_of(epoch) {
+            publish_components(&mut registry, mem.dram.stats(), llc.stats(), &engine);
+            registry.sample_epoch(mem_cycle);
+        }
         if mem_cycle > max_mem_cycles {
             panic!(
                 "simulation deadlock: {} cores unfinished after {max_mem_cycles} memory cycles",
@@ -360,16 +491,33 @@ pub fn run(
         cores.iter().map(|c| c.finished_at.expect("loop exits when finished")).collect();
     let ipc: f64 =
         core_cycles.iter().map(|&c| instructions_per_core as f64 / c as f64).sum();
-    let seconds = dram.cycles_to_seconds(mem_cycle);
-    let dram_energy = dram.energy(seconds);
+    let seconds = mem.dram.cycles_to_seconds(mem_cycle);
+    let dram_energy = mem.dram.energy(seconds);
     let total_insts = instructions_per_core * cfg.cores as u64;
-    let stats = *dram.stats();
+    let stats = mem.dram.stats().clone();
 
     let mut traffic = TrafficBreakdown::default();
     for i in 0..5 {
         traffic.read_apki[i] = stats.reads_by_class[i] as f64 * 1000.0 / total_insts as f64;
         traffic.write_apki[i] = stats.writes_by_class[i] as f64 * 1000.0 / total_insts as f64;
     }
+
+    // Final metric publication, plus the system-level metrics only this
+    // layer knows.
+    publish_components(&mut registry, &stats, llc.stats(), &engine);
+    registry.set_counter("core.system.instructions", total_insts);
+    registry.set_counter("core.system.mem_cycles", mem_cycle);
+    registry.set_gauge("core.system.ipc", ipc);
+    registry.set_gauge("core.system.seconds", seconds);
+    registry.set_counter("core.system.spans_completed", mem.tracer.completed());
+    registry.set_counter("core.system.spans_dropped", mem.tracer.dropped());
+    let telemetry = Telemetry {
+        slowest: mem.tracer.slowest(cfg.telemetry.top_k),
+        recent: mem.tracer.recent().cloned().collect(),
+        spans_completed: mem.tracer.completed(),
+        spans_dropped: mem.tracer.dropped(),
+        registry,
+    };
 
     Ok(SimResult {
         design: cfg.design.name.to_string(),
@@ -385,6 +533,7 @@ pub fn run(
         engine: *engine.stats(),
         metadata_cache: *engine.metadata_cache_stats(),
         llc: *llc.stats(),
+        telemetry,
     })
 }
 
@@ -426,10 +575,7 @@ fn step_core(
     trace: &mut MultiCoreTrace,
     llc: &mut SetAssocCache,
     engine: &mut SecureEngine,
-    dram: &mut MemorySystem,
-    deferred: &mut VecDeque<Request>,
-    load_map: &mut HashMap<u64, (usize, u64)>,
-    next_id: &mut u64,
+    mem: &mut MemSide,
 ) {
     core.retire(cfg.retire_width, cpu_cycle);
     if core.finished() {
@@ -456,7 +602,7 @@ fn step_core(
 
         // Back-pressure: while deferred requests exist, no new memory
         // instruction enters the system.
-        if !deferred.is_empty() {
+        if mem.has_backpressure() {
             break;
         }
         // Dependent load: must wait for all prior loads.
@@ -466,19 +612,18 @@ fn step_core(
 
         let addr = (rec.addr % cfg.data_capacity) & !63;
         if rec.is_write {
-            issue_store(addr, engine, llc, dram, deferred, next_id);
+            issue_store(addr, engine, llc, mem, mem_cycle);
         } else {
             let pos = core.fetch_pos;
             if llc.read(addr) {
                 core.loads.push_back(OutstandingLoad { pos, remaining: 1 });
                 core.llc_hits.push((mem_cycle + cfg.llc_hit_latency, pos));
             } else {
-                let ids =
-                    issue_load_miss(addr, core_idx, pos, engine, llc, dram, deferred, next_id);
+                let ids = issue_load_miss(addr, engine, llc, mem, mem_cycle);
                 core.loads
                     .push_back(OutstandingLoad { pos, remaining: ids.len() as u32 });
                 for id in ids {
-                    load_map.insert(id, (core_idx, pos));
+                    mem.load_map.insert(id, (core_idx, pos));
                 }
             }
         }
@@ -488,22 +633,6 @@ fn step_core(
     }
 }
 
-/// Enqueues an access, deferring on full queues.
-fn push_request(
-    spec: synergy_secure::AccessSpec,
-    dram: &mut MemorySystem,
-    deferred: &mut VecDeque<Request>,
-    next_id: &mut u64,
-) -> u64 {
-    let id = *next_id;
-    *next_id += 1;
-    let req = Request { id, addr: spec.addr, kind: spec.kind, class: spec.class, core: 0 };
-    if !deferred.is_empty() || !dram.enqueue(req) {
-        deferred.push_back(req);
-    }
-    id
-}
-
 /// Expands and issues a load miss; returns the request ids the load blocks
 /// on: the data read plus the counter-chain reads (the counter is needed
 /// for decryption, tree nodes for its verification — all fetched in
@@ -511,13 +640,10 @@ fn push_request(
 /// speculative-use assumption) and parity/writeback traffic is posted.
 fn issue_load_miss(
     addr: u64,
-    _core: usize,
-    _pos: u64,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
-    dram: &mut MemorySystem,
-    deferred: &mut VecDeque<Request>,
-    next_id: &mut u64,
+    mem: &mut MemSide,
+    cycle: u64,
 ) -> Vec<u64> {
     let expansion = engine.expand_read(addr, llc);
     // In a MAC-tree (non-Bonsai) design like IVEC, the MAC chain *is* the
@@ -531,7 +657,7 @@ fn issue_load_miss(
     let speculative = engine.design().speculative_verification;
     let mut blocking = Vec::with_capacity(2);
     for spec in &expansion.accesses {
-        let id = push_request(*spec, dram, deferred, next_id);
+        let id = mem.push_request(*spec, cycle);
         let blocks = spec.kind == AccessKind::Read
             && match spec.class {
                 RequestClass::Data => true,
@@ -544,8 +670,8 @@ fn issue_load_miss(
         }
     }
     // Fill the data line; handle displaced lines.
-    fill_data_line(addr, false, engine, llc, dram, deferred, next_id);
-    cascade_writebacks(expansion.evicted_dirty_data, engine, llc, dram, deferred, next_id);
+    fill_data_line(addr, false, engine, llc, mem, cycle);
+    cascade_writebacks(expansion.evicted_dirty_data, engine, llc, mem, cycle);
     blocking
 }
 
@@ -555,12 +681,11 @@ fn issue_store(
     addr: u64,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
-    dram: &mut MemorySystem,
-    deferred: &mut VecDeque<Request>,
-    next_id: &mut u64,
+    mem: &mut MemSide,
+    cycle: u64,
 ) {
     if !llc.write(addr) {
-        fill_data_line(addr, true, engine, llc, dram, deferred, next_id);
+        fill_data_line(addr, true, engine, llc, mem, cycle);
     }
 }
 
@@ -569,23 +694,20 @@ fn fill_data_line(
     dirty: bool,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
-    dram: &mut MemorySystem,
-    deferred: &mut VecDeque<Request>,
-    next_id: &mut u64,
+    mem: &mut MemSide,
+    cycle: u64,
 ) {
     if let Some(ev) = llc.fill(addr, dirty) {
         if ev.dirty {
             match engine.layout().classify(ev.addr) {
-                Region::Data => {
-                    cascade_writebacks(vec![ev.addr], engine, llc, dram, deferred, next_id)
-                }
+                Region::Data => cascade_writebacks(vec![ev.addr], engine, llc, mem, cycle),
                 _ => {
                     let spec = synergy_secure::AccessSpec {
                         addr: ev.addr,
                         kind: AccessKind::Write,
                         class: engine.class_of(ev.addr),
                     };
-                    push_request(spec, dram, deferred, next_id);
+                    mem.push_request(spec, cycle);
                 }
             }
         }
@@ -598,14 +720,13 @@ fn cascade_writebacks(
     mut pending: Vec<u64>,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
-    dram: &mut MemorySystem,
-    deferred: &mut VecDeque<Request>,
-    next_id: &mut u64,
+    mem: &mut MemSide,
+    cycle: u64,
 ) {
     while let Some(addr) = pending.pop() {
         let expansion = engine.expand_writeback(addr, llc);
         for spec in &expansion.accesses {
-            push_request(*spec, dram, deferred, next_id);
+            mem.push_request(*spec, cycle);
         }
         pending.extend(expansion.evicted_dirty_data);
     }
@@ -757,6 +878,72 @@ mod tests {
             r_stream.dram.row_hit_rate(),
             r_rand.dram.row_hit_rate()
         );
+    }
+
+    #[test]
+    fn synergy_run_traces_metadata_spans_with_phases() {
+        // Footprint well past the metadata cache's counter coverage so
+        // counter reads go to DRAM and get traced end to end.
+        let mut cfg = SystemConfig::new(DesignConfig::synergy());
+        cfg.telemetry.top_k = 32;
+        let mut s = spec(25.0, AccessPattern::Random { cluster: 4, hot_fraction: 0.0, hot_bytes: 0 });
+        s.footprint_bytes = 24 << 20;
+        let mut trace = MultiCoreTrace::rate_mode(&s, cfg.cores, 42);
+        let r = run(&cfg, &mut trace, 30_000).unwrap();
+
+        let t = &r.telemetry;
+        assert!(t.spans_completed > 0, "no spans completed");
+        assert!(!t.slowest.is_empty());
+        // Slowest spans are sorted descending and have full lifecycles.
+        for pair in t.slowest.windows(2) {
+            assert!(pair[0].total_latency() >= pair[1].total_latency());
+        }
+        let spans: Vec<_> = t.slowest.iter().chain(t.recent.iter()).collect();
+        let metadata_span = spans
+            .iter()
+            .find(|s| s.label != "data")
+            .expect("at least one Synergy metadata access traced");
+        assert!(metadata_span.cycle_of(SpanPhase::MetaCacheProbe).is_some());
+        assert!(metadata_span.cycle_of(SpanPhase::DramIssue).is_some());
+        assert!(metadata_span.cycle_of(SpanPhase::Complete).is_some());
+        assert!(!metadata_span.phase_durations().is_empty());
+        assert!(metadata_span.total_latency() > 0);
+        // Cycles within a span never decrease.
+        for s in &spans {
+            for pair in s.events.windows(2) {
+                assert!(pair[0].1 <= pair[1].1, "events out of order: {s:?}");
+            }
+        }
+        // The registry carries the per-class DRAM latency histograms.
+        let h = t.registry.get_histogram("dram.read_latency.counter").unwrap();
+        assert!(h.count() > 0);
+        assert!(h.percentile(99.0) >= h.percentile(50.0));
+        assert_eq!(t.registry.counter("dram.reads.counter"), Some(r.dram.reads(RequestClass::Counter)));
+        assert!(t.registry.counter("secure.engine.counter_misses").unwrap() > 0);
+    }
+
+    #[test]
+    fn epoch_sampling_produces_time_series() {
+        let mut cfg = SystemConfig::new(DesignConfig::sgx_o());
+        cfg.telemetry.epoch_mem_cycles = 2_000;
+        let s = spec(25.0, AccessPattern::Random { cluster: 4, hot_fraction: 0.6, hot_bytes: 2 << 20 });
+        let mut trace = MultiCoreTrace::rate_mode(&s, cfg.cores, 7);
+        let r = run(&cfg, &mut trace, 20_000).unwrap();
+        let epochs = r.telemetry.registry.epochs();
+        assert!(epochs.len() >= 2, "expected ≥2 epochs, got {}", epochs.len());
+        // Cycle stamps ascend and cumulative counters never decrease.
+        for pair in epochs.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+            let key = "dram.bursts";
+            assert!(pair[0].values[key] <= pair[1].values[key]);
+        }
+        // Spans can be disabled without losing the registry.
+        let mut cfg2 = SystemConfig::new(DesignConfig::sgx_o());
+        cfg2.telemetry.trace_spans = false;
+        let mut trace2 = MultiCoreTrace::rate_mode(&s, cfg2.cores, 7);
+        let r2 = run(&cfg2, &mut trace2, 5_000).unwrap();
+        assert_eq!(r2.telemetry.spans_completed, 0);
+        assert!(!r2.telemetry.registry.is_empty());
     }
 
     #[test]

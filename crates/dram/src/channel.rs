@@ -54,6 +54,7 @@ struct PendingCompletion {
     addr: u64,
     class: crate::request::RequestClass,
     latency: u64,
+    issue_cycle: u64,
 }
 
 /// One DRAM channel with its queues and device state.
@@ -132,6 +133,7 @@ impl Channel {
                     addr: p.addr,
                     class: p.class,
                     latency: p.latency,
+                    issue_cycle: p.issue_cycle,
                 });
             } else {
                 i += 1;
@@ -340,7 +342,6 @@ impl Channel {
         let bank = &mut self.banks[q.loc.rank][q.loc.bank];
         bank.ready_col = cycle + t.t_ccd;
 
-        let class_idx = q.req.class.index();
         match kind {
             AccessKind::Read => {
                 let done = cycle + t.t_cas + t.t_burst;
@@ -352,16 +353,15 @@ impl Channel {
                     addr: q.req.addr,
                     class: q.req.class,
                     latency: done - q.enqueue_cycle,
+                    issue_cycle: cycle,
                 });
-                stats.reads_by_class[class_idx] += 1;
-                stats.read_latency_sum += done - q.enqueue_cycle;
-                stats.read_count += 1;
+                stats.record_read(q.req.class, done - q.enqueue_cycle);
             }
             AccessKind::Write => {
                 let data_end = cycle + t.t_cwd + t.t_burst;
                 bank.ready_pre = bank.ready_pre.max(data_end + t.t_wr);
                 self.bus_free_at = data_end;
-                stats.writes_by_class[class_idx] += 1;
+                stats.record_write(q.req.class, data_end - q.enqueue_cycle);
             }
         }
         stats.bursts += 1;

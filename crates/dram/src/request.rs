@@ -48,18 +48,23 @@ impl RequestClass {
             RequestClass::Parity => 4,
         }
     }
-}
 
-impl core::fmt::Display for RequestClass {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let s = match self {
+    /// Stable lowercase label — the single source for table headers, CSV
+    /// columns, metric names and span labels.
+    pub const fn name(self) -> &'static str {
+        match self {
             RequestClass::Data => "data",
             RequestClass::Counter => "counter",
             RequestClass::TreeNode => "tree",
             RequestClass::Mac => "mac",
             RequestClass::Parity => "parity",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl core::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -89,6 +94,9 @@ pub struct Completion {
     pub class: RequestClass,
     /// Total latency in memory-bus cycles (enqueue to data return).
     pub latency: u64,
+    /// Cycle the column command issued (data went on the bus) — lets
+    /// request tracing split queueing delay from service time.
+    pub issue_cycle: u64,
 }
 
 #[cfg(test)]
@@ -103,8 +111,11 @@ mod tests {
     }
 
     #[test]
-    fn class_display() {
+    fn class_display_matches_name() {
         assert_eq!(RequestClass::Data.to_string(), "data");
         assert_eq!(RequestClass::Parity.to_string(), "parity");
+        for c in RequestClass::ALL {
+            assert_eq!(c.to_string(), c.name());
+        }
     }
 }

@@ -1,10 +1,18 @@
 //! DRAM traffic and event statistics — the raw material for the paper's
 //! Figure 9 (traffic breakdown) and Figure 10 (power/energy/EDP).
+//!
+//! Latency is kept as full per-class [`LogHistogram`]s rather than the
+//! old `sum / count` pair, so tail behaviour (p90/p99/max) survives
+//! aggregation; the scalar views ([`DramStats::read_latency_sum`],
+//! [`DramStats::read_count`], [`DramStats::avg_read_latency`]) are derived
+//! from the histograms and keep their original meaning.
+
+use synergy_obs::{metric_name, LogHistogram, MetricRegistry, Observe};
 
 use crate::request::RequestClass;
 
-/// Counters accumulated by the memory controller.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters and latency distributions accumulated by the memory controller.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read bursts issued, per [`RequestClass`] index.
     pub reads_by_class: [u64; 5],
@@ -20,10 +28,12 @@ pub struct DramStats {
     pub bursts: u64,
     /// Data-bus busy cycles (utilization numerator).
     pub busy_cycles: u64,
-    /// Sum of read latencies in memory cycles.
-    pub read_latency_sum: u64,
-    /// Number of completed reads.
-    pub read_count: u64,
+    /// Read latency (enqueue → data return) per [`RequestClass`] index.
+    pub read_latency_by_class: [LogHistogram; 5],
+    /// Write-completion latency (enqueue → data end on the bus) per
+    /// [`RequestClass`] index. Writes are posted, so this is bandwidth
+    /// pressure, not a stall — but its tail shows write-drain backlog.
+    pub write_latency_by_class: [LogHistogram; 5],
 }
 
 impl DramStats {
@@ -52,12 +62,63 @@ impl DramStats {
         self.writes_by_class[class.index()]
     }
 
+    /// Records one completed read of `class`.
+    pub fn record_read(&mut self, class: RequestClass, latency: u64) {
+        self.reads_by_class[class.index()] += 1;
+        self.read_latency_by_class[class.index()].record(latency);
+    }
+
+    /// Records one issued write of `class` with its completion latency.
+    pub fn record_write(&mut self, class: RequestClass, latency: u64) {
+        self.writes_by_class[class.index()] += 1;
+        self.write_latency_by_class[class.index()].record(latency);
+    }
+
+    /// Read-latency distribution of one class.
+    pub fn read_latency(&self, class: RequestClass) -> &LogHistogram {
+        &self.read_latency_by_class[class.index()]
+    }
+
+    /// Write-completion-latency distribution of one class.
+    pub fn write_latency(&self, class: RequestClass) -> &LogHistogram {
+        &self.write_latency_by_class[class.index()]
+    }
+
+    /// All-class read-latency distribution (merged on demand).
+    pub fn read_latency_all(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for c in &self.read_latency_by_class {
+            h.merge(c);
+        }
+        h
+    }
+
+    /// All-class write-completion-latency distribution (merged on demand).
+    pub fn write_latency_all(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for c in &self.write_latency_by_class {
+            h.merge(c);
+        }
+        h
+    }
+
+    /// Sum of read latencies in memory cycles (derived view).
+    pub fn read_latency_sum(&self) -> u64 {
+        self.read_latency_by_class.iter().map(LogHistogram::sum).sum()
+    }
+
+    /// Number of completed reads (derived view).
+    pub fn read_count(&self) -> u64 {
+        self.read_latency_by_class.iter().map(LogHistogram::count).sum()
+    }
+
     /// Mean read latency in memory cycles (0 when no reads completed).
     pub fn avg_read_latency(&self) -> f64 {
-        if self.read_count == 0 {
+        let count = self.read_count();
+        if count == 0 {
             0.0
         } else {
-            self.read_latency_sum as f64 / self.read_count as f64
+            self.read_latency_sum() as f64 / count as f64
         }
     }
 
@@ -76,14 +137,48 @@ impl DramStats {
         for i in 0..5 {
             self.reads_by_class[i] += other.reads_by_class[i];
             self.writes_by_class[i] += other.writes_by_class[i];
+            self.read_latency_by_class[i].merge(&other.read_latency_by_class[i]);
+            self.write_latency_by_class[i].merge(&other.write_latency_by_class[i]);
         }
         self.activates += other.activates;
         self.precharges += other.precharges;
         self.refreshes += other.refreshes;
         self.bursts += other.bursts;
         self.busy_cycles += other.busy_cycles;
-        self.read_latency_sum += other.read_latency_sum;
-        self.read_count += other.read_count;
+    }
+}
+
+impl Observe for DramStats {
+    fn observe(&self, prefix: &str, registry: &mut MetricRegistry) {
+        for class in RequestClass::ALL {
+            let i = class.index();
+            let n = class.name();
+            registry.set_counter(
+                &metric_name(prefix, &format!("reads.{n}")),
+                self.reads_by_class[i],
+            );
+            registry.set_counter(
+                &metric_name(prefix, &format!("writes.{n}")),
+                self.writes_by_class[i],
+            );
+            registry.set_histogram(
+                &metric_name(prefix, &format!("read_latency.{n}")),
+                &self.read_latency_by_class[i],
+            );
+            registry.set_histogram(
+                &metric_name(prefix, &format!("write_latency.{n}")),
+                &self.write_latency_by_class[i],
+            );
+        }
+        registry.set_counter(&metric_name(prefix, "activates"), self.activates);
+        registry.set_counter(&metric_name(prefix, "precharges"), self.precharges);
+        registry.set_counter(&metric_name(prefix, "refreshes"), self.refreshes);
+        registry.set_counter(&metric_name(prefix, "bursts"), self.bursts);
+        registry.set_counter(&metric_name(prefix, "busy_cycles"), self.busy_cycles);
+        registry.set_histogram(&metric_name(prefix, "read_latency"), &self.read_latency_all());
+        registry.set_histogram(&metric_name(prefix, "write_latency"), &self.write_latency_all());
+        registry.set_gauge(&metric_name(prefix, "row_hit_rate"), self.row_hit_rate());
+        registry.set_gauge(&metric_name(prefix, "avg_read_latency"), self.avg_read_latency());
     }
 }
 
@@ -110,11 +205,56 @@ mod tests {
     }
 
     #[test]
+    fn record_read_feeds_counts_and_histogram() {
+        let mut s = DramStats::default();
+        s.record_read(RequestClass::Data, 40);
+        s.record_read(RequestClass::Data, 60);
+        s.record_read(RequestClass::Counter, 100);
+        assert_eq!(s.total_reads(), 3);
+        assert_eq!(s.read_count(), 3);
+        assert_eq!(s.read_latency_sum(), 200);
+        assert!((s.avg_read_latency() - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.read_latency(RequestClass::Data).max(), 60);
+        assert_eq!(s.read_latency_all().count(), 3);
+        assert_eq!(s.read_latency_all().max(), 100);
+    }
+
+    #[test]
+    fn write_completion_latency_tracked_per_class() {
+        let mut s = DramStats::default();
+        s.record_write(RequestClass::Parity, 25);
+        s.record_write(RequestClass::Data, 75);
+        assert_eq!(s.total_writes(), 2);
+        assert_eq!(s.write_latency(RequestClass::Parity).count(), 1);
+        assert_eq!(s.write_latency_all().max(), 75);
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = DramStats { activates: 3, bursts: 7, ..Default::default() };
-        let b = DramStats { activates: 2, bursts: 1, ..Default::default() };
+        a.record_read(RequestClass::Data, 50);
+        let mut b = DramStats { activates: 2, bursts: 1, ..Default::default() };
+        b.record_read(RequestClass::Data, 70);
+        b.record_write(RequestClass::Mac, 30);
         a.merge(&b);
         assert_eq!(a.activates, 5);
         assert_eq!(a.bursts, 8);
+        assert_eq!(a.read_count(), 2);
+        assert_eq!(a.read_latency_sum(), 120);
+        assert_eq!(a.read_latency(RequestClass::Data).max(), 70);
+        assert_eq!(a.writes(RequestClass::Mac), 1);
+    }
+
+    #[test]
+    fn observe_publishes_counters_and_histograms() {
+        let mut s = DramStats::default();
+        s.record_read(RequestClass::Counter, 80);
+        s.activates = 4;
+        let mut reg = MetricRegistry::new();
+        s.observe("dram", &mut reg);
+        assert_eq!(reg.counter("dram.reads.counter"), Some(1));
+        assert_eq!(reg.counter("dram.activates"), Some(4));
+        assert_eq!(reg.get_histogram("dram.read_latency.counter").unwrap().count(), 1);
+        assert_eq!(reg.get_histogram("dram.read_latency").unwrap().max(), 80);
     }
 }

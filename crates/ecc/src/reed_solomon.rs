@@ -370,6 +370,10 @@ fn solve_magnitudes(synd: &[u8], coef_positions: &[usize]) -> Option<Vec<u8>> {
         for r in 0..t {
             if r != col && a[r][col] != 0 {
                 let f = a[r][col];
+                // Rows `r` and `col` alias the same matrix, so an indexed
+                // loop stays (iterating `a[r]` mutably would borrow-conflict
+                // with reading the pivot row).
+                #[allow(clippy::needless_range_loop)]
                 for c in col..t {
                     a[r][c] ^= gf::mul(f, a[col][c]);
                 }

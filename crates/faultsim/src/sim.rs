@@ -79,6 +79,27 @@ impl ReliabilityResult {
     }
 }
 
+impl synergy_obs::Observe for ReliabilityResult {
+    fn observe(&self, prefix: &str, registry: &mut synergy_obs::MetricRegistry) {
+        use synergy_obs::metric_name;
+        registry.set_counter(&metric_name(prefix, "devices"), self.devices);
+        registry.set_counter(&metric_name(prefix, "failures"), self.failures);
+        registry.set_counter(
+            &metric_name(prefix, "devices_with_faults"),
+            self.devices_with_faults,
+        );
+        registry.set_gauge(
+            &metric_name(prefix, "failure_probability"),
+            self.failure_probability,
+        );
+        registry.set_gauge(&metric_name(prefix, "fit"), self.fit);
+        registry.set_gauge(
+            &metric_name(prefix, "mttf_hours"),
+            self.mean_time_to_failure_hours,
+        );
+    }
+}
+
 /// Runs the Monte Carlo for one ECC policy.
 pub fn simulate(policy: EccPolicy, model: &FaultModel, params: &SimParams) -> ReliabilityResult {
     let threads = if params.threads == 0 {

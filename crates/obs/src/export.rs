@@ -1,0 +1,295 @@
+//! Machine-readable snapshot export: JSON and CSV.
+//!
+//! Hand-rolled serialization (the workspace builds offline, without serde)
+//! with a small composable surface: each telemetry type renders to a JSON
+//! fragment, and callers stitch fragments into experiment-level documents.
+//! [`write_file`] creates parent directories, so bench targets can write
+//! straight to `target/experiments/metrics/<name>.json`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::hist::LogHistogram;
+use crate::registry::{Metric, MetricRegistry};
+use crate::span::Span;
+
+/// Escapes a string for inclusion in a JSON string literal (no quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a histogram as a JSON object with summary quantiles and the
+/// non-empty buckets (`[lo, hi, count]` triples).
+pub fn histogram_to_json(h: &LogHistogram) -> String {
+    let s = h.summary();
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .map(|(lo, hi, c)| format!("[{lo},{hi},{c}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+         \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        s.count,
+        s.sum,
+        s.min,
+        s.max,
+        json_f64(s.mean),
+        s.p50,
+        s.p90,
+        s.p99,
+        buckets.join(",")
+    )
+}
+
+/// Renders one metric as a JSON object tagged with its kind.
+pub fn metric_to_json(m: &Metric) -> String {
+    match m {
+        Metric::Counter(v) => format!("{{\"kind\":\"counter\",\"value\":{v}}}"),
+        Metric::Gauge(v) => format!("{{\"kind\":\"gauge\",\"value\":{}}}", json_f64(*v)),
+        Metric::Histogram(h) => {
+            format!("{{\"kind\":\"histogram\",\"value\":{}}}", histogram_to_json(h))
+        }
+    }
+}
+
+/// Renders a registry as `{"metrics": {...}, "epochs": [...]}`.
+pub fn registry_to_json(reg: &MetricRegistry) -> String {
+    let metrics: Vec<String> = reg
+        .iter()
+        .map(|(name, m)| format!("\"{}\":{}", json_escape(name), metric_to_json(m)))
+        .collect();
+    let epochs: Vec<String> = reg
+        .epochs()
+        .iter()
+        .map(|e| {
+            let vals: Vec<String> = e
+                .values
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_f64(*v)))
+                .collect();
+            format!("{{\"cycle\":{},\"values\":{{{}}}}}", e.cycle, vals.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"metrics\":{{{}}},\"epochs\":[{}]}}",
+        metrics.join(","),
+        epochs.join(",")
+    )
+}
+
+/// Renders a span with its per-phase breakdown.
+pub fn span_to_json(span: &Span) -> String {
+    let phases: Vec<String> = span
+        .phase_durations()
+        .iter()
+        .map(|(p, d)| {
+            let cycle = span.cycle_of(*p).unwrap_or(0);
+            format!(
+                "{{\"phase\":\"{}\",\"cycle\":{cycle},\"cycles_to_next\":{d}}}",
+                p.name()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"id\":{},\"addr\":{},\"label\":\"{}\",\"start\":{},\"end\":{},\
+         \"latency\":{},\"phases\":[{}]}}",
+        span.id,
+        span.addr,
+        json_escape(span.label),
+        span.start_cycle(),
+        span.end_cycle(),
+        span.total_latency(),
+        phases.join(",")
+    )
+}
+
+/// Renders a span list as a JSON array.
+pub fn spans_to_json(spans: &[Span]) -> String {
+    let items: Vec<String> = spans.iter().map(span_to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders a registry as CSV: one row per metric.
+///
+/// Columns: `metric,kind,value,count,sum,min,p50,p90,p99,max` — scalar
+/// metrics fill `value` and leave the distribution columns empty;
+/// histograms do the reverse.
+pub fn registry_to_csv(reg: &MetricRegistry) -> String {
+    let mut out = String::from("metric,kind,value,count,sum,min,p50,p90,p99,max\n");
+    for (name, m) in reg.iter() {
+        match m {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "{name},counter,{v},,,,,,,");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "{name},gauge,{v},,,,,,,");
+            }
+            Metric::Histogram(h) => {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "{name},histogram,,{},{},{},{},{},{},{}",
+                    s.count, s.sum, s.min, s.p50, s.p90, s.p99, s.max
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the epoch time-series as wide CSV: `cycle` plus one column per
+/// sampled metric (union over all epochs; missing values left empty).
+pub fn epochs_to_csv(reg: &MetricRegistry) -> String {
+    let mut names: Vec<&str> = Vec::new();
+    for e in reg.epochs() {
+        for k in e.values.keys() {
+            if !names.contains(&k.as_str()) {
+                names.push(k);
+            }
+        }
+    }
+    names.sort_unstable();
+    let mut out = String::from("cycle");
+    for n in &names {
+        let _ = write!(out, ",{n}");
+    }
+    out.push('\n');
+    for e in reg.epochs() {
+        let _ = write!(out, "{}", e.cycle);
+        for n in &names {
+            match e.values.get(*n) {
+                Some(v) => {
+                    let _ = write!(out, ",{v}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `content` to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_file(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanPhase, SpanTracer};
+
+    #[test]
+    fn escaping_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn histogram_json_has_quantiles_and_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(10);
+        h.record(100);
+        let j = histogram_to_json(&h);
+        assert!(j.contains("\"count\":2"));
+        assert!(j.contains("\"p99\":"));
+        assert!(j.contains("\"buckets\":[[10,10,1],[100,100,1]]"), "{j}");
+    }
+
+    #[test]
+    fn registry_json_roundtrips_names() {
+        let mut r = MetricRegistry::new();
+        r.set_counter("dram.reads", 7);
+        r.set_gauge("llc.miss_ratio", 0.25);
+        r.record("lat", 42);
+        r.sample_epoch(1000);
+        let j = registry_to_json(&r);
+        assert!(j.contains("\"dram.reads\":{\"kind\":\"counter\",\"value\":7}"));
+        assert!(j.contains("\"llc.miss_ratio\""));
+        assert!(j.contains("\"epochs\":[{\"cycle\":1000"));
+    }
+
+    #[test]
+    fn span_json_has_phase_breakdown() {
+        let mut t = SpanTracer::for_system();
+        t.start(9, 0x40, "data", SpanPhase::LlcMiss, 100);
+        t.event(9, SpanPhase::DramEnqueue, 101);
+        t.event(9, SpanPhase::DramIssue, 130);
+        t.complete(9, 140);
+        let spans = t.slowest(1);
+        let j = spans_to_json(&spans);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"latency\":40"));
+        assert!(j.contains("\"phase\":\"dram_issue\""));
+        assert!(j.contains("\"cycles_to_next\":29"), "{j}");
+    }
+
+    #[test]
+    fn registry_csv_one_row_per_metric() {
+        let mut r = MetricRegistry::new();
+        r.set_counter("c", 1);
+        r.record("h", 5);
+        let csv = registry_to_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("metric,kind,"));
+        assert!(lines[1].starts_with("c,counter,1,"));
+        assert!(lines[2].starts_with("h,histogram,,1,5,5,"));
+    }
+
+    #[test]
+    fn epoch_csv_is_wide() {
+        let mut r = MetricRegistry::new();
+        r.set_counter("a", 1);
+        r.sample_epoch(10);
+        r.set_counter("b", 2);
+        r.sample_epoch(20);
+        let csv = epochs_to_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cycle,a,b");
+        assert_eq!(lines[1], "10,1,");
+        assert_eq!(lines[2], "20,1,2");
+    }
+
+    #[test]
+    fn write_file_creates_parents() {
+        let dir = std::env::temp_dir().join("synergy_obs_test_export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.json");
+        write_file(&path, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

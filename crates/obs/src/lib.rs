@@ -1,0 +1,33 @@
+//! Telemetry layer for the SYNERGY reproduction.
+//!
+//! Zero-dependency observability shared by the whole performance stack
+//! (DRAM model, caches, secure engine, system simulator, fault simulator,
+//! bench harness):
+//!
+//! * [`LogHistogram`] — log-bucketed `u64` histograms with ≤1.6% quantile
+//!   error, exact count/sum/min/max, and lossless merging. Replaces the
+//!   `latency_sum / count` averaging pattern with full distributions
+//!   (p50/p90/p99/max).
+//! * [`MetricRegistry`] — a named registry of counters, gauges and
+//!   histograms. Components publish into it via [`Observe`]; periodic
+//!   [`MetricRegistry::sample_epoch`] calls build a time-series of every
+//!   scalar metric.
+//! * [`SpanTracer`] — bounded request-lifecycle tracing (LLC miss →
+//!   engine expansion → metadata-cache probe → DRAM enqueue → issue →
+//!   complete) that retains the K slowest requests with per-phase
+//!   breakdowns.
+//! * [`export`] — hand-rolled JSON/CSV snapshot serialization used by the
+//!   fig0x bench targets and the `calibrate` / `debug_probe` bins, written
+//!   under `target/experiments/metrics/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use hist::{HistogramSummary, LogHistogram};
+pub use registry::{metric_name, EpochSample, Metric, MetricRegistry, Observe};
+pub use span::{Span, SpanPhase, SpanTracer};

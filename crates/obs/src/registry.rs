@@ -1,0 +1,280 @@
+//! Named metric registry with epoch time-series sampling.
+//!
+//! Components publish their statistics under dotted names
+//! (`dram.reads.data`, `llc.read_misses`, `secure.engine.counter_misses`)
+//! by implementing [`Observe`]. The registry holds three metric kinds —
+//! monotonic counters, instantaneous gauges and [`LogHistogram`]s — and can
+//! snapshot all scalar metrics at epoch boundaries, producing the
+//! time-series the exporters turn into CSV/JSON.
+
+use std::collections::BTreeMap;
+
+use crate::hist::LogHistogram;
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Instantaneous value (rates, ratios, occupancies).
+    Gauge(f64),
+    /// Value distribution.
+    Histogram(LogHistogram),
+}
+
+/// Scalar metric values captured at one epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSample {
+    /// Cycle (or other monotonic clock) at which the sample was taken.
+    pub cycle: u64,
+    /// Counter and gauge values by metric name. Histograms contribute
+    /// their count under `<name>.count`.
+    pub values: BTreeMap<String, f64>,
+}
+
+/// A sorted name → metric map plus its sampled epoch history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricRegistry {
+    metrics: BTreeMap<String, Metric>,
+    epochs: Vec<EpochSample>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets counter `name` to an absolute value (creating it if needed).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.metrics.insert(name.to_string(), Metric::Counter(value));
+    }
+
+    /// Adds `delta` to counter `name` (creating it at `delta` if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exists with a non-counter kind.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric {name} is {}, not a counter", kind_name(other)),
+        }
+    }
+
+    /// Sets gauge `name` (creating it if needed).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Mutable access to histogram `name` (creating it empty if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exists with a non-histogram kind.
+    pub fn histogram(&mut self, name: &str) -> &mut LogHistogram {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(LogHistogram::new()))
+        {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} is {}, not a histogram", kind_name(other)),
+        }
+    }
+
+    /// Records one value into histogram `name`.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Merges `h` into histogram `name`.
+    pub fn merge_histogram(&mut self, name: &str, h: &LogHistogram) {
+        self.histogram(name).merge(h);
+    }
+
+    /// Replaces histogram `name` with a copy of `h`. Components whose
+    /// stats are cumulative use this from [`Observe`] so repeated epoch
+    /// publications don't double-count.
+    pub fn set_histogram(&mut self, name: &str, h: &LogHistogram) {
+        self.metrics
+            .insert(name.to_string(), Metric::Histogram(h.clone()));
+    }
+
+    /// The metric registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram, if `name` is a histogram.
+    pub fn get_histogram(&self, name: &str) -> Option<&LogHistogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metrics, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Snapshots every scalar metric (counters and gauges as-is,
+    /// histograms as `<name>.count`) into the epoch time-series.
+    pub fn sample_epoch(&mut self, cycle: u64) {
+        let mut values = BTreeMap::new();
+        for (name, metric) in &self.metrics {
+            match metric {
+                Metric::Counter(v) => {
+                    values.insert(name.clone(), *v as f64);
+                }
+                Metric::Gauge(v) => {
+                    values.insert(name.clone(), *v);
+                }
+                Metric::Histogram(h) => {
+                    values.insert(format!("{name}.count"), h.count() as f64);
+                }
+            }
+        }
+        self.epochs.push(EpochSample { cycle, values });
+    }
+
+    /// The sampled epoch history, oldest first.
+    pub fn epochs(&self) -> &[EpochSample] {
+        &self.epochs
+    }
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "a counter",
+        Metric::Gauge(_) => "a gauge",
+        Metric::Histogram(_) => "a histogram",
+    }
+}
+
+/// Implemented by components that publish statistics into a registry.
+///
+/// `prefix` namespaces the component's metrics (`dram`, `llc`,
+/// `secure.engine`, …); implementations should emit names via
+/// [`metric_name`].
+pub trait Observe {
+    /// Publishes the component's current statistics under `prefix`.
+    fn observe(&self, prefix: &str, registry: &mut MetricRegistry);
+}
+
+/// Joins a prefix and a metric name with `.` (empty prefix = bare name).
+pub fn metric_name(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = MetricRegistry::new();
+        r.add_counter("dram.reads", 3);
+        r.add_counter("dram.reads", 4);
+        r.set_counter("dram.writes", 9);
+        assert_eq!(r.counter("dram.reads"), Some(7));
+        assert_eq!(r.counter("dram.writes"), Some(9));
+        assert_eq!(r.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricRegistry::new();
+        r.set_gauge("llc.miss_ratio", 0.25);
+        r.set_gauge("llc.miss_ratio", 0.5);
+        assert_eq!(r.gauge("llc.miss_ratio"), Some(0.5));
+    }
+
+    #[test]
+    fn histograms_record_and_merge() {
+        let mut r = MetricRegistry::new();
+        r.record("lat", 10);
+        r.record("lat", 30);
+        let mut other = LogHistogram::new();
+        other.record(20);
+        r.merge_histogram("lat", &other);
+        let h = r.get_histogram("lat").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let mut r = MetricRegistry::new();
+        r.set_gauge("x", 1.0);
+        r.add_counter("x", 1);
+    }
+
+    #[test]
+    fn epoch_sampling_builds_time_series() {
+        let mut r = MetricRegistry::new();
+        r.set_counter("c", 1);
+        r.record("h", 5);
+        r.sample_epoch(100);
+        r.set_counter("c", 4);
+        r.record("h", 6);
+        r.sample_epoch(200);
+        let e = r.epochs();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].cycle, 100);
+        assert_eq!(e[0].values["c"], 1.0);
+        assert_eq!(e[1].values["c"], 4.0);
+        assert_eq!(e[1].values["h.count"], 2.0);
+    }
+
+    #[test]
+    fn metric_name_joins() {
+        assert_eq!(metric_name("dram", "reads"), "dram.reads");
+        assert_eq!(metric_name("", "reads"), "reads");
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut r = MetricRegistry::new();
+        r.set_counter("b", 1);
+        r.set_counter("a", 1);
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Request-lifecycle tracing.
+//!
+//! A [`SpanTracer`] follows individual memory requests through the
+//! simulation pipeline — LLC miss, secure-engine expansion, metadata-cache
+//! probe, DRAM enqueue, DRAM issue, completion — with a cycle timestamp per
+//! phase. Storage is strictly bounded: a fixed-capacity table of open
+//! spans, a ring buffer of recently completed spans, and a top-K set of the
+//! slowest requests seen so far. When the open table is full, new requests
+//! are counted as dropped rather than tracked, so tracing cost stays O(1)
+//! per event regardless of run length.
+
+use std::collections::HashMap;
+
+/// Lifecycle phases of a traced request, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanPhase {
+    /// The data load missed the LLC — the request enters the system.
+    LlcMiss,
+    /// The secure engine expanded the miss into its DRAM access list.
+    EngineExpand,
+    /// The engine probed the dedicated metadata cache.
+    MetaCacheProbe,
+    /// The request entered a DRAM controller queue.
+    DramEnqueue,
+    /// The DRAM column command issued (data on the bus).
+    DramIssue,
+    /// Data returned; the requester unblocked.
+    Complete,
+}
+
+impl SpanPhase {
+    /// All phases in pipeline order.
+    pub const ALL: [SpanPhase; 6] = [
+        SpanPhase::LlcMiss,
+        SpanPhase::EngineExpand,
+        SpanPhase::MetaCacheProbe,
+        SpanPhase::DramEnqueue,
+        SpanPhase::DramIssue,
+        SpanPhase::Complete,
+    ];
+
+    /// Stable lowercase name for export.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanPhase::LlcMiss => "llc_miss",
+            SpanPhase::EngineExpand => "engine_expand",
+            SpanPhase::MetaCacheProbe => "meta_cache_probe",
+            SpanPhase::DramEnqueue => "dram_enqueue",
+            SpanPhase::DramIssue => "dram_issue",
+            SpanPhase::Complete => "complete",
+        }
+    }
+}
+
+impl core::fmt::Display for SpanPhase {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One traced request: identity plus its timestamped phase events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Request identifier (the DRAM request id of the data read).
+    pub id: u64,
+    /// Physical address of the data line.
+    pub addr: u64,
+    /// Free-form label (request class, design name, …).
+    pub label: &'static str,
+    /// `(phase, cycle)` events in the order they were recorded.
+    pub events: Vec<(SpanPhase, u64)>,
+}
+
+impl Span {
+    /// Cycle of the first event (0 if none — not constructible via the tracer).
+    pub fn start_cycle(&self) -> u64 {
+        self.events.first().map_or(0, |&(_, c)| c)
+    }
+
+    /// Cycle of the last event.
+    pub fn end_cycle(&self) -> u64 {
+        self.events.last().map_or(0, |&(_, c)| c)
+    }
+
+    /// End-to-end latency in cycles.
+    pub fn total_latency(&self) -> u64 {
+        self.end_cycle() - self.start_cycle()
+    }
+
+    /// Cycle at which `phase` was recorded, if it was.
+    pub fn cycle_of(&self, phase: SpanPhase) -> Option<u64> {
+        self.events.iter().find(|&&(p, _)| p == phase).map(|&(_, c)| c)
+    }
+
+    /// Per-phase breakdown: each event paired with the cycles until the
+    /// next event (the final event gets 0).
+    pub fn phase_durations(&self) -> Vec<(SpanPhase, u64)> {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, c))| {
+                let next = self.events.get(i + 1).map_or(c, |&(_, n)| n);
+                (p, next.saturating_sub(c))
+            })
+            .collect()
+    }
+}
+
+/// Bounded tracer: open-span table + completed ring + top-K slowest.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracer {
+    open: HashMap<u64, Span>,
+    open_capacity: usize,
+    recent: std::collections::VecDeque<Span>,
+    recent_capacity: usize,
+    /// Slowest completed spans, ascending by latency, len ≤ `top_k`.
+    slowest: Vec<Span>,
+    top_k: usize,
+    started: u64,
+    completed: u64,
+    dropped: u64,
+}
+
+impl SpanTracer {
+    /// A tracer with the given open-table, ring and top-K capacities.
+    pub fn new(open_capacity: usize, recent_capacity: usize, top_k: usize) -> Self {
+        Self {
+            open: HashMap::with_capacity(open_capacity.min(4096)),
+            open_capacity,
+            recent: std::collections::VecDeque::with_capacity(recent_capacity.min(4096)),
+            recent_capacity,
+            slowest: Vec::with_capacity(top_k.min(256)),
+            top_k,
+            started: 0,
+            completed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A tracer sized for system-simulation use: 4096 concurrent requests,
+    /// 256-entry ring, top-16 slowest.
+    pub fn for_system() -> Self {
+        Self::new(4096, 256, 16)
+    }
+
+    /// A disabled tracer: drops every request at `start`.
+    pub fn disabled() -> Self {
+        Self::new(0, 0, 0)
+    }
+
+    /// Opens a span for request `id`, recording its first phase event.
+    /// Counted as dropped (and ignored) when the open table is full.
+    pub fn start(&mut self, id: u64, addr: u64, label: &'static str, phase: SpanPhase, cycle: u64) {
+        self.started += 1;
+        if self.open.len() >= self.open_capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.open
+            .insert(id, Span { id, addr, label, events: vec![(phase, cycle)] });
+    }
+
+    /// Appends a phase event to request `id`'s span, if it is tracked.
+    pub fn event(&mut self, id: u64, phase: SpanPhase, cycle: u64) {
+        if let Some(span) = self.open.get_mut(&id) {
+            span.events.push((phase, cycle));
+        }
+    }
+
+    /// Completes request `id`'s span: records the final event, moves the
+    /// span into the ring, and keeps it if it ranks among the slowest.
+    pub fn complete(&mut self, id: u64, cycle: u64) {
+        let Some(mut span) = self.open.remove(&id) else { return };
+        span.events.push((SpanPhase::Complete, cycle));
+        self.completed += 1;
+
+        if self.top_k > 0 {
+            let lat = span.total_latency();
+            if self.slowest.len() < self.top_k {
+                self.slowest.push(span.clone());
+                self.slowest.sort_by_key(Span::total_latency);
+            } else if lat > self.slowest[0].total_latency() {
+                self.slowest[0] = span.clone();
+                self.slowest.sort_by_key(Span::total_latency);
+            }
+        }
+
+        if self.recent_capacity > 0 {
+            if self.recent.len() >= self.recent_capacity {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(span);
+        }
+    }
+
+    /// The slowest completed spans, descending by latency, at most `k`.
+    pub fn slowest(&self, k: usize) -> Vec<Span> {
+        let mut out: Vec<Span> = self.slowest.iter().rev().take(k).cloned().collect();
+        out.sort_by_key(|s| core::cmp::Reverse(s.total_latency()));
+        out
+    }
+
+    /// Recently completed spans, oldest first.
+    pub fn recent(&self) -> impl Iterator<Item = &Span> {
+        self.recent.iter()
+    }
+
+    /// Spans opened (including ones dropped for capacity).
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// Spans completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Spans dropped because the open table was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Currently open (started, not yet completed) spans.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_one(t: &mut SpanTracer, id: u64, start: u64, issue: u64, end: u64) {
+        t.start(id, 0x1000 + id, "data", SpanPhase::LlcMiss, start);
+        t.event(id, SpanPhase::EngineExpand, start);
+        t.event(id, SpanPhase::DramEnqueue, start + 1);
+        t.event(id, SpanPhase::DramIssue, issue);
+        t.complete(id, end);
+    }
+
+    #[test]
+    fn lifecycle_records_all_phases() {
+        let mut t = SpanTracer::for_system();
+        trace_one(&mut t, 1, 100, 140, 150);
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.open_len(), 0);
+        let spans = t.slowest(10);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.total_latency(), 50);
+        assert_eq!(s.cycle_of(SpanPhase::DramIssue), Some(140));
+        let durs = s.phase_durations();
+        assert_eq!(durs.len(), 5);
+        assert_eq!(durs.last().unwrap().1, 0);
+        // Durations sum to total latency.
+        assert_eq!(durs.iter().map(|&(_, d)| d).sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn top_k_keeps_slowest_descending() {
+        let mut t = SpanTracer::new(64, 64, 3);
+        for (id, lat) in [(1, 10), (2, 50), (3, 20), (4, 40), (5, 30)] {
+            trace_one(&mut t, id, 0, lat - 5, lat);
+        }
+        let s = t.slowest(10);
+        let lats: Vec<u64> = s.iter().map(Span::total_latency).collect();
+        assert_eq!(lats, [50, 40, 30]);
+        assert_eq!(t.slowest(2).len(), 2);
+    }
+
+    #[test]
+    fn capacity_limits_open_spans() {
+        let mut t = SpanTracer::new(2, 8, 4);
+        t.start(1, 0, "a", SpanPhase::LlcMiss, 0);
+        t.start(2, 0, "b", SpanPhase::LlcMiss, 0);
+        t.start(3, 0, "c", SpanPhase::LlcMiss, 0);
+        assert_eq!(t.open_len(), 2);
+        assert_eq!(t.dropped(), 1);
+        // Events and completion for the dropped span are no-ops.
+        t.event(3, SpanPhase::DramIssue, 5);
+        t.complete(3, 9);
+        assert_eq!(t.completed(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = SpanTracer::new(64, 2, 4);
+        trace_one(&mut t, 1, 0, 5, 10);
+        trace_one(&mut t, 2, 0, 5, 10);
+        trace_one(&mut t, 3, 0, 5, 10);
+        let ids: Vec<u64> = t.recent().map(|s| s.id).collect();
+        assert_eq!(ids, [2, 3]);
+    }
+
+    #[test]
+    fn disabled_tracer_tracks_nothing() {
+        let mut t = SpanTracer::disabled();
+        trace_one(&mut t, 1, 0, 5, 10);
+        assert_eq!(t.completed(), 0);
+        assert_eq!(t.dropped(), 1);
+        assert!(t.slowest(10).is_empty());
+    }
+}

@@ -75,6 +75,39 @@ pub struct EngineStats {
     pub tree_fetches: u64,
 }
 
+impl EngineStats {
+    /// Counter lookups served without DRAM (dedicated cache or LLC).
+    pub fn counter_hits(&self) -> u64 {
+        self.counter_dedicated_hits + self.counter_llc_hits
+    }
+
+    /// Fraction of counter lookups that went to DRAM (0 when none).
+    pub fn counter_miss_ratio(&self) -> f64 {
+        let total = self.counter_hits() + self.counter_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.counter_misses as f64 / total as f64
+        }
+    }
+}
+
+impl synergy_obs::Observe for EngineStats {
+    fn observe(&self, prefix: &str, registry: &mut synergy_obs::MetricRegistry) {
+        use synergy_obs::metric_name;
+        registry.set_counter(&metric_name(prefix, "data_reads"), self.data_reads);
+        registry.set_counter(&metric_name(prefix, "data_writebacks"), self.data_writebacks);
+        registry.set_counter(
+            &metric_name(prefix, "counter_dedicated_hits"),
+            self.counter_dedicated_hits,
+        );
+        registry.set_counter(&metric_name(prefix, "counter_llc_hits"), self.counter_llc_hits);
+        registry.set_counter(&metric_name(prefix, "counter_misses"), self.counter_misses);
+        registry.set_counter(&metric_name(prefix, "tree_fetches"), self.tree_fetches);
+        registry.set_gauge(&metric_name(prefix, "counter_miss_ratio"), self.counter_miss_ratio());
+    }
+}
+
 /// The per-design access-expansion engine.
 #[derive(Debug, Clone)]
 pub struct SecureEngine {

@@ -8,6 +8,7 @@
 
 use synergy::core::memory::{MemoryError, SynergyMemory, SynergyMemoryConfig};
 use synergy::crypto::CacheLine;
+use synergy::obs::{export, MetricRegistry, Observe};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== SYNERGY quickstart ==\n");
@@ -62,5 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[5] rewrite heals the line; read ok: {}", mem.read_line(0x4000)?.data == secret);
 
     println!("\nstats: {:#?}", mem.stats());
+
+    // 6. Dump the same counters as a machine-readable metrics snapshot.
+    let mut registry = MetricRegistry::new();
+    mem.stats().observe("memory", &mut registry);
+    let path = std::path::Path::new("target/experiments/metrics/quickstart.json");
+    export::write_file(path, &export::registry_to_json(&registry))?;
+    println!("[metrics] {}", path.display());
     Ok(())
 }

@@ -17,6 +17,8 @@
 //!   IVEC, LOT-ECC and Non-Secure.
 //! * [`faultsim`] — Monte-Carlo DRAM reliability simulator with the
 //!   Sridharan field-study fault model.
+//! * [`obs`] — telemetry: log-bucketed latency histograms, the named
+//!   metric registry, request-lifecycle span tracing, JSON/CSV export.
 //! * [`core`] — the SYNERGY functional memory (MAC-in-ECC-chip co-location,
 //!   RAID-3 reconstruction engine, tree-integrated error correction) and the
 //!   full-system performance simulator.
@@ -53,5 +55,6 @@ pub use synergy_crypto as crypto;
 pub use synergy_dram as dram;
 pub use synergy_ecc as ecc;
 pub use synergy_faultsim as faultsim;
+pub use synergy_obs as obs;
 pub use synergy_secure as secure;
 pub use synergy_trace as trace;

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the timing-only subset the workspace's micro-benchmarks use:
+//! [`Criterion`], [`Criterion::benchmark_group`], `bench_function`,
+//! [`Bencher::iter`], [`Throughput`], [`criterion_group!`] and
+//! [`criterion_main!`]. Measurements use a simple calibrated loop
+//! (adaptive iteration count, median of timed batches) and print
+//! `name: time/iter (throughput)` lines instead of criterion's full
+//! statistical report. `--quick` (and any other CLI flag) is accepted and
+//! reduces the measurement time.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measure_ns: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Self { measure_ns: if quick { 40_000_000 } else { 400_000_000 } }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("{name}");
+        BenchmarkGroup { criterion: self, group: name.to_string(), throughput: None }
+    }
+
+    /// Benchmarks `f` as a standalone (ungrouped) function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.measure_ns, None, &mut f);
+        self
+    }
+
+    /// Runs registered benchmark functions (invoked by [`criterion_main!`]).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `self.group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        run_one(&full, self.criterion.measure_ns, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    measure_ns: u64,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibrate: grow the iteration count until one batch costs ≥ ~1 ms.
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos().max(1) as u64;
+        if ns >= 1_000_000 || iters >= 1 << 30 {
+            break (ns as f64 / iters as f64).max(0.01);
+        }
+        iters = iters.saturating_mul(if ns < 1_000 { 100 } else { 4 });
+    };
+
+    // Measure: median of timed batches within the time budget.
+    let batch_iters = ((2_000_000.0 / per_iter_ns).ceil() as u64).max(1);
+    let batches = (measure_ns / 2_000_000).clamp(5, 200) as usize;
+    let mut samples: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut b = Bencher { iters: batch_iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / batch_iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {:>10}/s", human_bytes(n as f64 * 1e9 / median)),
+        Throughput::Elements(n) => format!("  {:>10.2} Melem/s", n as f64 * 1e3 / median),
+    });
+    println!("  {name:<44} {:>12}/iter{}", human_time(median), rate.unwrap_or_default());
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    if bps < 1e3 {
+        format!("{bps:.0} B")
+    } else if bps < 1e6 {
+        format!("{:.1} KiB", bps / 1024.0)
+    } else if bps < 1e9 {
+        format!("{:.1} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Declares a benchmark group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { measure_ns: 2_000_000 };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion { measure_ns: 2_000_000 };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("xor", |b| b.iter(|| black_box(5u64 ^ 3)));
+        g.finish();
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(human_time(12.5), "12.50 ns");
+        assert_eq!(human_time(1_500.0), "1.50 µs");
+        assert!(human_bytes(2e9).ends_with("GiB"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements only `crossbeam::thread::scope` — the one API the workspace
+//! uses — as a thin wrapper over `std::thread::scope` (stable since Rust
+//! 1.63, which post-dates crossbeam's scoped threads).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type carried by a panicked scope (mirrors `std::thread::Result`).
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure (crossbeam convention — enables nested spawns).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> ScopeResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never errors in this implementation: panics from unjoined threads
+    /// propagate as panics (matching `std::thread::scope`), so the `Ok`
+    /// branch is always taken. The `Result` exists for crossbeam API
+    /// compatibility.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 2))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,624 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest 1.x the workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`,
+//! [`Strategy`] with `prop_map`, `any::<T>()`, range strategies,
+//! tuple strategies, [`Just`], `prop_oneof!`, `collection::vec` and
+//! `sample::subsequence`.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the panic
+//!   message of the failing assertion) but is not minimized.
+//! * **Deterministic seeding** — each test derives its RNG seed from the
+//!   test-function name, so failures reproduce across runs.
+//! * `prop_assert*` panics directly instead of routing a `TestCaseError`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Test-case driver types used by the [`crate::proptest!`] expansion.
+
+    /// Marker returned by `prop_assume!` when a case is rejected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Rejected;
+
+    /// Deterministic RNG for test-case generation (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds a generator seeded from an arbitrary string (we use the
+        /// test-function name) so each test has a stable, distinct stream.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            let mut m = (self.next_u64() as u128) * (n as u128);
+            if (m as u64) < n {
+                let threshold = n.wrapping_neg() % n;
+                while (m as u64) < threshold {
+                    m = (self.next_u64() as u128) * (n as u128);
+                }
+            }
+            (m >> 64) as u64
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this stand-in samples values directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, resampling (bounded).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples");
+    }
+}
+
+/// Strategy producing one fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-balanced, wide dynamic range.
+        let mag = rng.unit_f64() * f64::powi(10.0, (rng.below(61) as i32) - 30);
+        if rng.next_u64() & 1 == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        core::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty strategy range");
+        // unit_f64 is in [0, 1); stretch slightly so end() is reachable.
+        let span = self.end() - self.start();
+        (self.start() + rng.unit_f64() * span * (1.0 + 1e-9)).min(*self.end())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec()`].
+    pub trait IntoSizeRange {
+        /// Lower and upper bound (inclusive) of the permitted lengths.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors of `element` values (see [`vec()`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Vector of values from `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over existing collections.
+pub mod sample {
+    use super::collection::IntoSizeRange;
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding order-preserving subsequences (see [`subsequence`]).
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Order-preserving random subsequence of `values` whose length falls
+    /// in `size`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, size: impl IntoSizeRange) -> Subsequence<T> {
+        let (min, max) = size.bounds();
+        assert!(max <= values.len(), "subsequence longer than source");
+        Subsequence { values, min, max }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            };
+            // Floyd-style index sampling, then restore source order.
+            let n = self.values.len();
+            let mut picked: Vec<usize> = Vec::with_capacity(len);
+            while picked.len() < len {
+                let idx = rng.below(n as u64) as usize;
+                if !picked.contains(&idx) {
+                    picked.push(idx);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// Union of same-valued strategies, built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms` (uniform arm choice).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].sample(rng)
+    }
+}
+
+/// Chooses uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Rejects the current case (it is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the canonical form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// docs
+///     #[test]
+///     fn prop(x in 0u64..10, v in collection::vec(any::<u8>(), 0..4)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut ran: u32 = 0;
+            let mut attempts: u64 = 0;
+            while ran < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < 20 * config.cases as u64 + 1000,
+                    "property {} rejected too many cases (prop_assume too strict)",
+                    stringify!($name),
+                );
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if outcome.is_ok() {
+                    ran += 1;
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+    /// Upstream re-exports the crate itself under `prop::...` paths.
+    pub use crate as proptest;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3u64..17, b in 1usize..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(v in proptest::collection::vec(any::<u8>(), 2..5), e in proptest::collection::vec(any::<u8>(), 3)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert_eq!(e.len(), 3);
+        }
+
+        #[test]
+        fn subsequence_is_ordered(s in proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4, 5], 2..=3)) {
+            prop_assert!(s.len() == 2 || s.len() == 3);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Tuple + map + oneof compose.
+        #[test]
+        fn composed(v in (0u32..4, prop_oneof![Just(10u32), Just(20u32)]).prop_map(|(a, b)| a + b)) {
+            prop_assert!((10u32..24).contains(&v));
+        }
+    }
+}
