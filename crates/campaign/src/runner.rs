@@ -1,0 +1,219 @@
+//! Functional execution of one scenario, and its analytic verdict.
+//!
+//! The runner is the "ground truth" half of the differential: it pushes a
+//! scenario's corruption through the real storage + recovery code of each
+//! design and reduces the result to an [`Outcome`]. The analytic half is a
+//! single [`EccPolicy::first_failure`] call over the same faults.
+//!
+//! [`EccPolicy::first_failure`]: synergy_faultsim::EccPolicy::first_failure
+//! [`verdicts_agree`] is the campaign's core assertion: an outcome in
+//! [`Outcome::is_failure`] iff the analytic model predicts a failure.
+
+use synergy_core::memory::{MemoryError, SynergyMemory, SynergyMemoryConfig};
+use synergy_core::secded_memory::{SecdedError, SecdedMemory};
+use synergy_crypto::CacheLine;
+use synergy_ecc::reed_solomon::Chipkill;
+use synergy_faultsim::HOURS_PER_YEAR;
+
+use crate::scenario::{Design, Scenario, TargetRegion, WORDS_PER_LINE};
+
+/// Data capacity of the per-scenario functional memories (bytes).
+pub const MEMORY_CAPACITY: u64 = 1 << 12;
+
+/// Device lifetime assumed for the analytic verdict (paper: 7 years).
+pub const LIFETIME_HOURS: f64 = 7.0 * HOURS_PER_YEAR;
+
+/// Classification of one functional recovery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The read returned the original data (clean or corrected).
+    Corrected,
+    /// The decoder flagged the error as uncorrectable (DUE).
+    DetectedUncorrectable,
+    /// The read "succeeded" with wrong data — silent data corruption.
+    SilentDataCorruption,
+    /// SYNERGY declared an attack / unrecoverable integrity violation.
+    CrashDetected,
+}
+
+impl Outcome {
+    /// All outcomes, matrix-column order.
+    pub const ALL: [Outcome; 4] = [
+        Outcome::Corrected,
+        Outcome::DetectedUncorrectable,
+        Outcome::SilentDataCorruption,
+        Outcome::CrashDetected,
+    ];
+
+    /// Stable lower-case label (metric/CSV keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Corrected => "corrected",
+            Outcome::DetectedUncorrectable => "due",
+            Outcome::SilentDataCorruption => "sdc",
+            Outcome::CrashDetected => "crash",
+        }
+    }
+
+    /// Whether this outcome counts as a device failure (the analytic
+    /// model's "uncorrectable" bucket): anything but a clean correction.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, Outcome::Corrected)
+    }
+}
+
+/// Result of one functional injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalResult {
+    /// Outcome classification.
+    pub outcome: Outcome,
+    /// MAC computations the read performed (SYNERGY only; 0 otherwise).
+    pub mac_computations: u32,
+}
+
+/// Runs the scenario through its design's functional pipeline.
+pub fn run_functional(scenario: &Scenario) -> FunctionalResult {
+    match scenario.design {
+        Design::Secded => run_secded(scenario),
+        Design::Chipkill => run_chipkill(scenario),
+        Design::Synergy => run_synergy(scenario),
+    }
+}
+
+/// The analytic verdict for the scenario's faults: `true` when
+/// [`EccPolicy::first_failure`] predicts an uncorrectable error within the
+/// device lifetime (no scrubbing — scenarios inject at `t = 0`).
+///
+/// [`EccPolicy::first_failure`]: synergy_faultsim::EccPolicy::first_failure
+pub fn analytic_fails(scenario: &Scenario) -> bool {
+    scenario
+        .design
+        .policy()
+        .first_failure(&scenario.analytic_faults(), LIFETIME_HOURS, None)
+        .is_some()
+}
+
+/// The campaign invariant: functional failure ⇔ analytic failure.
+pub fn verdicts_agree(scenario: &Scenario) -> bool {
+    run_functional(scenario).outcome.is_failure() == analytic_fails(scenario)
+}
+
+fn run_secded(scenario: &Scenario) -> FunctionalResult {
+    let mut m = SecdedMemory::new(MEMORY_CAPACITY);
+    let addr = scenario.data_addr;
+    let truth = CacheLine::from_bytes(scenario.truth);
+    m.write_line(addr, &truth).expect("in range");
+    for (chip, masks) in scenario.chip_masks().into_iter().enumerate() {
+        if masks != [0; WORDS_PER_LINE] {
+            m.inject_chip_pattern(addr, chip, masks);
+        }
+    }
+    let outcome = match m.read_line(addr) {
+        Ok(out) if out.data == truth => Outcome::Corrected,
+        Ok(_) => Outcome::SilentDataCorruption,
+        Err(SecdedError::UncorrectableError { .. }) => Outcome::DetectedUncorrectable,
+        Err(e) => unreachable!("SECDED read failed structurally: {e}"),
+    };
+    FunctionalResult { outcome, mac_computations: 0 }
+}
+
+fn run_chipkill(scenario: &Scenario) -> FunctionalResult {
+    let ck = Chipkill::new().expect("fixed geometry");
+    let mut beats = ck.encode_line(&scenario.truth).expect("encode");
+    // Chip `c` contributes one RS symbol per beat; a beat spans two word
+    // columns, so the symbol's corruption is the union of both words'
+    // masks (stuck-at semantics, as in `Scenario::chip_masks`).
+    for (chip, masks) in scenario.chip_masks().into_iter().enumerate() {
+        for (b, beat) in beats.iter_mut().enumerate() {
+            beat[chip] ^= masks[2 * b] | masks[2 * b + 1];
+        }
+    }
+    let outcome = match ck.correct_line(&mut beats).expect("well-formed") {
+        (Some(line), _) if line == scenario.truth => Outcome::Corrected,
+        (Some(_), _) => Outcome::SilentDataCorruption,
+        (None, _) => Outcome::DetectedUncorrectable,
+    };
+    FunctionalResult { outcome, mac_computations: 0 }
+}
+
+fn run_synergy(scenario: &Scenario) -> FunctionalResult {
+    let mut m = SynergyMemory::new(SynergyMemoryConfig {
+        // Cross-read fault tracking would make outcomes depend on scenario
+        // order; each scenario must be a self-contained reproducer.
+        fault_tracking_threshold: None,
+        ..SynergyMemoryConfig::with_capacity(MEMORY_CAPACITY)
+    })
+    .expect("valid capacity");
+    let addr = scenario.data_addr;
+    let truth = CacheLine::from_bytes(scenario.truth);
+    m.write_line(addr, &truth).expect("in range");
+    let target = match scenario.region {
+        TargetRegion::Data => addr,
+        TargetRegion::Counter => m.layout().counter_line_addr(addr),
+        TargetRegion::Parity => m.layout().parity_line_addr(addr),
+    };
+    for (chip, masks) in scenario.chip_masks().into_iter().enumerate() {
+        if masks != [0; WORDS_PER_LINE] {
+            m.inject_chip_pattern(target, chip, masks);
+        }
+    }
+    match m.read_line(addr) {
+        Ok(out) if out.data == truth => {
+            FunctionalResult { outcome: Outcome::Corrected, mac_computations: out.mac_computations }
+        }
+        Ok(out) => FunctionalResult {
+            outcome: Outcome::SilentDataCorruption,
+            mac_computations: out.mac_computations,
+        },
+        Err(MemoryError::AttackDetected { .. }) => {
+            FunctionalResult { outcome: Outcome::CrashDetected, mac_computations: 0 }
+        }
+        Err(e) => unreachable!("SYNERGY read failed structurally: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::scenario_for;
+    use synergy_faultsim::{ChipGeometry, FaultModel};
+
+    #[test]
+    fn every_sampled_scenario_agrees_with_the_analytic_model() {
+        let geo = ChipGeometry::default();
+        let model = FaultModel::sridharan();
+        for index in 0..600 {
+            let s = scenario_for(0xD1FF, index, &model, &geo, MEMORY_CAPACITY / 64);
+            let functional = run_functional(&s);
+            let analytic = analytic_fails(&s);
+            assert_eq!(
+                functional.outcome.is_failure(),
+                analytic,
+                "index {index}: functional {:?} vs analytic fail={analytic}\n{s:#?}",
+                functional.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn synergy_single_chip_scenarios_never_fail() {
+        let geo = ChipGeometry::default();
+        let model = FaultModel::sridharan();
+        let mut checked = 0;
+        for index in 0..900 {
+            let s = scenario_for(0xBEEF, index, &model, &geo, MEMORY_CAPACITY / 64);
+            if s.design != Design::Synergy {
+                continue;
+            }
+            let chips: std::collections::HashSet<usize> =
+                s.faults.iter().map(|f| f.fault.chip).collect();
+            if chips.len() != 1 {
+                continue;
+            }
+            checked += 1;
+            let out = run_functional(&s).outcome;
+            assert_eq!(out, Outcome::Corrected, "index {index}: {s:#?}");
+        }
+        assert!(checked > 30, "only {checked} single-chip SYNERGY scenarios");
+    }
+}

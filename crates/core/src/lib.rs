@@ -30,6 +30,7 @@ pub mod memory;
 pub mod secded_memory;
 pub mod stored;
 pub mod system;
+pub mod testsupport;
 
 pub use memory::{MemoryError, MemoryStats, ReadOutput, SynergyMemory, SynergyMemoryConfig};
 pub use secded_memory::{SecdedError, SecdedMemory, SecdedReadOutput};

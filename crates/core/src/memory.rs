@@ -379,7 +379,7 @@ impl SynergyMemory {
     ///
     /// Panics if `chip >= 9` or the address is outside the layout.
     pub fn inject_chip_error(&mut self, line_addr: u64, chip: usize) {
-        self.inject_chip_pattern(line_addr, chip, [0xA5; 8]);
+        self.inject_chip_pattern(line_addr, chip, crate::testsupport::CHIP_CORRUPTION_PATTERN);
     }
 
     /// XORs an arbitrary pattern into one chip of one line.
@@ -402,10 +402,7 @@ impl SynergyMemory {
     ///
     /// Panics if `chip >= 9`, `bit >= 64`, or the address is invalid.
     pub fn inject_bit_flip(&mut self, line_addr: u64, chip: usize, bit: usize) {
-        assert!(bit < 64, "bit {bit} out of range");
-        let mut pattern = [0u8; 8];
-        pattern[bit / 8] = 1 << (bit % 8);
-        self.inject_chip_pattern(line_addr, chip, pattern);
+        self.inject_chip_pattern(line_addr, chip, crate::testsupport::bit_flip_pattern(bit));
     }
 
     /// Fails an entire chip: corrupts its slice in every materialized line
@@ -417,7 +414,7 @@ impl SynergyMemory {
     pub fn inject_chip_failure(&mut self, chip: usize) {
         assert!(chip < CHIPS, "chip {chip} out of range");
         for stored in self.lines.values_mut() {
-            stored.corrupt_chip(chip, [0xE7; 8]);
+            stored.corrupt_chip(chip, crate::testsupport::CHIP_FAILURE_PATTERN);
         }
     }
 

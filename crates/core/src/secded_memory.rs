@@ -13,6 +13,8 @@ use std::collections::HashMap;
 use synergy_crypto::CacheLine;
 use synergy_ecc::{secded, DecodeOutcome};
 
+use crate::stored::ChipSlice;
+
 /// Errors from the SECDED memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SecdedError {
@@ -135,16 +137,29 @@ impl SecdedMemory {
     ///
     /// Panics if `chip >= 9` or the address is invalid.
     pub fn inject_chip_error(&mut self, addr: u64, chip: usize) {
+        self.inject_chip_pattern(addr, chip, crate::testsupport::CHIP_CORRUPTION_PATTERN);
+    }
+
+    /// XORs an arbitrary per-word pattern into chip `chip`'s contribution:
+    /// `pattern[w]` corrupts word `w`'s byte on that chip (or word `w`'s
+    /// check byte for the ECC chip). The shared-pattern mirror of
+    /// [`crate::memory::SynergyMemory::inject_chip_pattern`], with the
+    /// byte-sliced orientation of an ECC-DIMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= 9` or the address is invalid.
+    pub fn inject_chip_pattern(&mut self, addr: u64, chip: usize, pattern: ChipSlice) {
         assert!(chip < 9);
         self.ensure(addr);
         let entry = self.lines.get_mut(&addr).expect("ensured");
         if chip < 8 {
-            for w in entry.0.iter_mut() {
-                *w ^= 0xA5u64 << (chip * 8);
+            for (w, p) in entry.0.iter_mut().zip(pattern) {
+                *w ^= u64::from(p) << (chip * 8);
             }
         } else {
-            for c in entry.1.iter_mut() {
-                *c ^= 0xA5;
+            for (c, p) in entry.1.iter_mut().zip(pattern) {
+                *c ^= p;
             }
         }
     }

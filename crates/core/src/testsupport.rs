@@ -1,0 +1,73 @@
+//! Shared fault-injection patterns for tests and campaigns.
+//!
+//! Every suite that corrupts stored chips — the unit tests here, the
+//! workspace integration tests, and the differential fault-injection
+//! campaign (`synergy-campaign`) — used to hard-code its own magic
+//! corruption bytes. This module is the single home for those patterns, so
+//! "what a chip failure looks like" is defined exactly once and the
+//! injection paths of [`crate::memory::SynergyMemory`] and
+//! [`crate::secded_memory::SecdedMemory`] stay in sync.
+//!
+//! All patterns are XOR masks over one chip's 8-byte slice of a line
+//! ([`ChipSlice`]); applying the same pattern twice restores the original
+//! contents (`corrupt_chip` is an involution, see the core proptests).
+
+use crate::stored::ChipSlice;
+
+/// Canonical single-line chip-corruption pattern (`0xA5` in every byte).
+///
+/// Used by `inject_chip_error` on both memory models: a dense, alternating
+/// bit pattern that defeats SECDED in every affected word.
+pub const CHIP_CORRUPTION_PATTERN: ChipSlice = [0xA5; 8];
+
+/// Canonical whole-chip-failure pattern (`0xE7` in every byte).
+///
+/// Used by `inject_chip_failure` when a chip dies across all materialized
+/// lines — distinct from [`CHIP_CORRUPTION_PATTERN`] so a full-chip
+/// scenario is distinguishable from a single-line one in hex dumps.
+pub const CHIP_FAILURE_PATTERN: ChipSlice = [0xE7; 8];
+
+/// Pattern that flips exactly bit `bit` (0..64) of a chip slice.
+///
+/// # Panics
+///
+/// Panics if `bit >= 64`.
+pub fn bit_flip_pattern(bit: usize) -> ChipSlice {
+    assert!(bit < 64, "bit {bit} out of range");
+    let mut pattern = [0u8; 8];
+    pattern[bit / 8] = 1 << (bit % 8);
+    pattern
+}
+
+/// A nonzero pattern distinct per index (for `i < 255`): corrupting several
+/// chips with `distinct_pattern(chip)` guarantees no two chips carry the
+/// same error, which matters when a test must rule out pattern aliasing.
+pub fn distinct_pattern(i: usize) -> ChipSlice {
+    [(i as u8).wrapping_add(1).wrapping_mul(17); 8]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_flip_pattern_sets_exactly_one_bit() {
+        for bit in 0..64 {
+            let p = bit_flip_pattern(bit);
+            let ones: u32 = p.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(ones, 1);
+            assert_eq!(u64::from_le_bytes(p), 1u64 << bit);
+        }
+    }
+
+    #[test]
+    fn distinct_patterns_are_nonzero_and_distinct() {
+        let patterns: Vec<ChipSlice> = (0..9).map(distinct_pattern).collect();
+        for (i, p) in patterns.iter().enumerate() {
+            assert_ne!(*p, [0; 8]);
+            for q in &patterns[i + 1..] {
+                assert_ne!(p, q);
+            }
+        }
+    }
+}

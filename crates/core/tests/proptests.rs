@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use synergy_core::memory::{MemoryError, SynergyMemory, SynergyMemoryConfig};
+use synergy_core::stored::{xor_slices, ChipSlice, StoredLine};
 use synergy_crypto::CacheLine;
 
 const CAP: u64 = 1 << 15; // 32 KiB: small enough for fast cases
@@ -118,5 +119,56 @@ proptest! {
         // pattern into its failure message and trip the format parser)
         let detected = matches!(m.read_line(addr), Err(MemoryError::AttackDetected { .. }));
         prop_assert!(detected);
+    }
+
+    /// Data-region lines decompose and reassemble losslessly: the stored
+    /// chip striping never drops or aliases a bit.
+    #[test]
+    fn stored_data_roundtrip(bytes in any::<[u8; 64]>(), mac in any::<u64>()) {
+        let line = CacheLine::from_bytes(bytes);
+        let (l2, m2) = StoredLine::from_data(&line, mac).data_parts();
+        prop_assert_eq!(l2, line);
+        prop_assert_eq!(m2, mac);
+    }
+
+    /// Counter-region lines round-trip all eight 56-bit counters and the
+    /// distributed MAC, and the ECC chip always holds `ParityC`.
+    #[test]
+    fn stored_counter_roundtrip(raw in any::<[u64; 8]>(), mac in any::<u64>()) {
+        let counters = raw.map(|c| c & ((1 << 56) - 1));
+        let stored = StoredLine::from_counters(&counters, mac);
+        let (c2, m2, pc) = stored.counter_parts();
+        prop_assert_eq!(c2, counters);
+        prop_assert_eq!(m2, mac);
+        prop_assert_eq!(pc, xor_slices(&stored.chips[..8]));
+    }
+
+    /// Parity-region lines round-trip all eight slots, and the ECC chip
+    /// always holds `ParityP` (the XOR of the slots).
+    #[test]
+    fn stored_parity_roundtrip(slots in any::<[[u8; 8]; 8]>()) {
+        let stored = StoredLine::from_parities(&slots);
+        let (s2, pp) = stored.parity_parts();
+        prop_assert_eq!(s2, slots);
+        prop_assert_eq!(pp, xor_slices(&slots));
+    }
+
+    /// `corrupt_chip` is an involution: re-applying the same XOR pattern
+    /// restores the line exactly, for any region's content and any chip.
+    #[test]
+    fn corrupt_chip_is_an_involution(
+        bytes in any::<[u8; 64]>(),
+        mac in any::<u64>(),
+        chip in 0usize..9,
+        pattern in any::<ChipSlice>(),
+    ) {
+        let clean = StoredLine::from_data(&CacheLine::from_bytes(bytes), mac);
+        let mut stored = clean;
+        stored.corrupt_chip(chip, pattern);
+        if pattern != [0; 8] {
+            prop_assert_ne!(stored, clean);
+        }
+        stored.corrupt_chip(chip, pattern);
+        prop_assert_eq!(stored, clean);
     }
 }

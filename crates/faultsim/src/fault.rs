@@ -83,6 +83,35 @@ impl core::fmt::Display for FaultMode {
     }
 }
 
+/// A cacheline-sized window of word columns within one bank row — the
+/// coordinates of one accessed line. Fault-injection campaigns pin faults
+/// inside a `LineRegion` so every sampled fault is guaranteed to touch the
+/// line under test (see [`Fault::sample_in_line`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRegion {
+    /// Bank holding the line.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// First word column of the line (line-aligned).
+    pub col_base: u32,
+    /// Word columns per line (8 for a 64-byte line of 64-bit words).
+    pub cols: u32,
+}
+
+impl LineRegion {
+    /// Samples a line-aligned region within `geo`.
+    pub fn sample<R: rand::Rng>(rng: &mut R, geo: &ChipGeometry, cols: u32) -> Self {
+        let slots = (geo.cols / cols).max(1);
+        Self {
+            bank: rng.gen_range(0..geo.banks),
+            row: rng.gen_range(0..geo.rows),
+            col_base: rng.gen_range(0..slots) * cols,
+            cols,
+        }
+    }
+}
+
 /// A fault region within one chip. `None` dimensions are wildcards.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fault {
@@ -130,13 +159,60 @@ impl Fault {
         Self { chip, mode, permanent, at_hours, bank, row, col, bit }
     }
 
+    /// Builds the fault region for `mode` with every per-mode pinned
+    /// dimension drawn from inside `line`, so the fault is guaranteed to
+    /// cover that line. Wildcard dimensions stay wildcards exactly as in
+    /// [`Fault::sample`] — a `SingleColumn` fault still spans every row,
+    /// but its pinned column falls inside the line's window.
+    ///
+    /// Differential fault-injection campaigns use this to generate
+    /// scenarios whose functional injection (into one concrete stored
+    /// line) and analytic evaluation (range intersection) describe the
+    /// same physical event.
+    pub fn sample_in_line<R: rand::Rng>(
+        rng: &mut R,
+        geo: &ChipGeometry,
+        chip: usize,
+        mode: FaultMode,
+        permanent: bool,
+        at_hours: f64,
+        line: &LineRegion,
+    ) -> Self {
+        let mut f = Self::sample(rng, geo, chip, mode, permanent, at_hours);
+        if f.bank.is_some() {
+            f.bank = Some(line.bank);
+        }
+        if f.row.is_some() {
+            f.row = Some(line.row);
+        }
+        if f.col.is_some() {
+            f.col = Some(line.col_base + rng.gen_range(0..line.cols));
+        }
+        f
+    }
+
     /// True when the two regions share at least one *word* address
     /// (bank, row, column) — the collision condition for symbol-based
     /// codes, where two bad chips in one codeword are fatal.
     pub fn words_intersect(&self, other: &Fault) -> bool {
+        self.granules_intersect(other, 1)
+    }
+
+    /// True when the two regions share at least one correction *granule* —
+    /// a run of `granule_cols` consecutive word columns within one
+    /// (bank, row). A granule is the span of one correction codeword:
+    /// 1 column for per-word SECDED, 2 columns for a beat-level Chipkill
+    /// symbol code, 8 columns (a whole cacheline) for SYNERGY's
+    /// line-granular MAC + RAID-3 flow. Two chips failing anywhere inside
+    /// the same granule defeat a single-symbol-correcting code even when
+    /// the word columns differ — the differential campaign caught exactly
+    /// this divergence between word-granular analytics and the functional
+    /// decoders.
+    pub fn granules_intersect(&self, other: &Fault, granule_cols: u32) -> bool {
+        let g = granule_cols.max(1);
         dim_intersects(self.bank, other.bank)
             && dim_intersects(self.row, other.row)
-            && dim_intersects(self.col, other.col)
+            && dim_intersects(self.col.map(|c| c / g), other.col.map(|c| c / g))
     }
 
     /// True when the two regions share at least one *bit* — only
@@ -233,6 +309,66 @@ mod tests {
         assert!(row_f.words_intersect(&col_f));
         col_f.bank = Some(4);
         assert!(!row_f.words_intersect(&col_f));
+    }
+
+    #[test]
+    fn sample_in_line_always_covers_the_line() {
+        let geo = ChipGeometry::default();
+        let mut r = rng();
+        for _ in 0..200 {
+            let line = LineRegion::sample(&mut r, &geo, 8);
+            for mode in FaultMode::ALL {
+                let f = Fault::sample_in_line(&mut r, &geo, 0, mode, true, 0.0, &line);
+                // The fault intersects a fully pinned word inside the line.
+                let probe = Fault {
+                    chip: 1,
+                    mode: FaultMode::SingleBit,
+                    permanent: true,
+                    at_hours: 0.0,
+                    bank: Some(line.bank),
+                    row: Some(line.row),
+                    col: Some(f.col.unwrap_or(line.col_base)),
+                    bit: None,
+                };
+                assert!(f.words_intersect(&probe), "{mode} must cover its line");
+                if let Some(c) = f.col {
+                    assert!(
+                        c >= line.col_base && c < line.col_base + line.cols,
+                        "{mode}: col {c} outside line at {}",
+                        line.col_base
+                    );
+                }
+                assert_eq!(f.bank.is_some(), Fault::sample(&mut r, &geo, 0, mode, true, 0.0).bank.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn granule_intersection_coarsens_word_intersection() {
+        let mut a = fault(0, FaultMode::SingleBit);
+        let mut b = fault(1, FaultMode::SingleBit);
+        a.bank = Some(0);
+        a.row = Some(7);
+        a.col = Some(4);
+        b.bank = Some(0);
+        b.row = Some(7);
+        b.col = Some(5);
+        // Different words: no word-level collision, but the same 2-column
+        // beat and the same 8-column line.
+        assert!(!a.words_intersect(&b));
+        assert!(a.granules_intersect(&b, 2));
+        assert!(a.granules_intersect(&b, 8));
+        // Adjacent columns in different beats still share the line granule.
+        b.col = Some(3);
+        assert!(!a.granules_intersect(&b, 2));
+        assert!(a.granules_intersect(&b, 8));
+        // Different lines: nothing intersects.
+        b.col = Some(13);
+        assert!(!a.granules_intersect(&b, 8));
+        // Wildcards intersect at any granularity.
+        b.col = None;
+        assert!(a.granules_intersect(&b, 1));
+        assert!(a.granules_intersect(&b, 8));
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod model;
 pub mod policy;
 pub mod sim;
 
-pub use fault::{ChipGeometry, Fault, FaultMode};
+pub use fault::{ChipGeometry, Fault, FaultMode, LineRegion};
 pub use model::{FaultModel, ModeRate};
 pub use policy::EccPolicy;
-pub use sim::{simulate, simulate_all, ReliabilityResult, SimParams, HOURS_PER_YEAR};
+pub use sim::{
+    simulate, simulate_all, ReliabilityResult, SimParams, HOURS_PER_YEAR, SHARD_DEVICES,
+};

@@ -29,6 +29,26 @@ impl EccPolicy {
         }
     }
 
+    /// Word columns spanned by one correction codeword — the granularity
+    /// at which two faulty chips collide.
+    ///
+    /// SECDED corrects per 64-bit word (1 column). Our Chipkill packs a
+    /// 64-byte line into four 18-symbol RS beats of 16 data bytes, so one
+    /// codeword spans 2 word columns. SYNERGY and IVEC detect with a
+    /// line-granular MAC and reconstruct whole chips per *line*: two chips
+    /// corrupted anywhere in the same 8-column line are unrecoverable even
+    /// when their word columns differ. The differential campaign
+    /// (`synergy-campaign`) surfaced this: the original word-granular
+    /// pairwise test under-counted functional Chipkill/SYNERGY failures
+    /// for small-footprint fault pairs sharing a codeword.
+    pub fn correction_granule_cols(self) -> u32 {
+        match self {
+            EccPolicy::None | EccPolicy::Secded => 1,
+            EccPolicy::Chipkill => 2,
+            EccPolicy::Synergy | EccPolicy::Ivec => 8,
+        }
+    }
+
     /// Human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -87,7 +107,8 @@ impl EccPolicy {
                         }
                     }
                     EccPolicy::Chipkill | EccPolicy::Synergy | EccPolicy::Ivec => {
-                        a.chip != b.chip && a.words_intersect(b)
+                        a.chip != b.chip
+                            && a.granules_intersect(b, self.correction_granule_cols())
                     }
                 };
                 if !spatial {
@@ -218,6 +239,43 @@ mod tests {
         let mut d = a;
         d.at_hours = 40.0;
         assert_eq!(EccPolicy::Secded.first_failure(&[a, d], LIFE, None), None);
+    }
+
+    #[test]
+    fn codeword_granularity_separates_the_schemes() {
+        // Two single-bit faults on different chips, same bank/row, in word
+        // columns 4 and 5: different SECDED words, the same Chipkill beat,
+        // the same SYNERGY line.
+        let mut a = mk(0, FaultMode::SingleBit, 10.0, true);
+        let mut b = mk(1, FaultMode::SingleBit, 20.0, true);
+        a.bank = Some(0);
+        a.row = Some(100);
+        a.col = Some(4);
+        b.bank = Some(0);
+        b.row = Some(100);
+        b.col = Some(5);
+        let f = [a, b];
+        assert_eq!(EccPolicy::Secded.first_failure(&f, LIFE, None), None);
+        assert_eq!(EccPolicy::Chipkill.first_failure(&f, LIFE, None), Some(20.0));
+        assert_eq!(EccPolicy::Synergy.first_failure(&f, LIFE, None), Some(20.0));
+        // Columns 3 and 4: different beats, same line — only the
+        // line-granular schemes fail.
+        let mut c = b;
+        c.col = Some(3);
+        let f = [a, c];
+        assert_eq!(EccPolicy::Chipkill.first_failure(&f, LIFE, None), None);
+        assert_eq!(EccPolicy::Synergy.first_failure(&f, LIFE, None), Some(20.0));
+        assert_eq!(EccPolicy::Ivec.first_failure(&f, LIFE, None), Some(20.0));
+        // Columns 4 and 13: different lines — everyone survives.
+        let mut d = b;
+        d.col = Some(13);
+        let f = [a, d];
+        for p in [EccPolicy::Secded, EccPolicy::Chipkill, EccPolicy::Synergy] {
+            assert_eq!(p.first_failure(&f, LIFE, None), None, "{p}");
+        }
+        assert_eq!(EccPolicy::Secded.correction_granule_cols(), 1);
+        assert_eq!(EccPolicy::Chipkill.correction_granule_cols(), 2);
+        assert_eq!(EccPolicy::Synergy.correction_granule_cols(), 8);
     }
 
     #[test]

@@ -6,9 +6,14 @@
 //! * **Conditioned sampling** — the number of faults per device is Poisson
 //!   with a small mean (~0.037 for 9 chips over 7 years), so the ~96% of
 //!   devices with zero faults are dispatched with a single random draw.
-//! * **Parallelism** — devices are independent; batches run across threads
-//!   with per-batch deterministic seeds, so results are reproducible
-//!   regardless of thread count.
+//! * **Parallelism** — devices are independent; they are decomposed into
+//!   fixed-size shards whose seeds derive from the shard's first device
+//!   index (never from the worker count), worker threads pull shards from a
+//!   shared queue, and partial results merge in shard order. Results are
+//!   therefore **bit-identical** for any thread count at a fixed seed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,6 +105,11 @@ impl synergy_obs::Observe for ReliabilityResult {
     }
 }
 
+/// Devices per deterministic work shard. The shard decomposition — and
+/// with it every shard's RNG seed — depends only on the device count, so
+/// any worker-thread count reproduces the same result bit for bit.
+pub const SHARD_DEVICES: u64 = 16_384;
+
 /// Runs the Monte Carlo for one ECC policy.
 pub fn simulate(policy: EccPolicy, model: &FaultModel, params: &SimParams) -> ReliabilityResult {
     let threads = if params.threads == 0 {
@@ -107,19 +117,32 @@ pub fn simulate(policy: EccPolicy, model: &FaultModel, params: &SimParams) -> Re
     } else {
         params.threads
     };
-    let batches: Vec<(u64, u64)> = split_batches(params.devices, threads as u64);
+    let shards = params.devices.div_ceil(SHARD_DEVICES) as usize;
+    let workers = threads.min(shards).max(1);
 
-    let results: Vec<(u64, u64, f64)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = batches
-            .iter()
-            .map(|&(start, count)| {
-                scope.spawn(move |_| run_batch(policy, model, params, start, count))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("batch thread panicked")).collect()
+    // Shard slots are filled by whichever worker claims the shard; the
+    // merge below walks them in shard order, so even the floating-point
+    // time-to-failure sum is order-deterministic.
+    let slots: Mutex<Vec<(u64, u64, f64)>> = Mutex::new(vec![(0, 0, 0.0); shards]);
+    let next = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shards {
+                    break;
+                }
+                let start = i as u64 * SHARD_DEVICES;
+                let count = SHARD_DEVICES.min(params.devices - start);
+                let r = run_batch(policy, model, params, start, count);
+                slots.lock().expect("shard slots poisoned")[i] = r;
+            });
+        }
     })
     .expect("thread scope");
 
+    let results = slots.into_inner().expect("shard slots poisoned");
     let failures: u64 = results.iter().map(|r| r.0).sum();
     let with_faults: u64 = results.iter().map(|r| r.1).sum();
     let ttf_sum: f64 = results.iter().map(|r| r.2).sum();
@@ -145,21 +168,8 @@ pub fn simulate_all(model: &FaultModel, params: &SimParams) -> Vec<(EccPolicy, R
         .collect()
 }
 
-fn split_batches(total: u64, parts: u64) -> Vec<(u64, u64)> {
-    let parts = parts.max(1).min(total.max(1));
-    let base = total / parts;
-    let extra = total % parts;
-    let mut out = Vec::with_capacity(parts as usize);
-    let mut start = 0;
-    for i in 0..parts {
-        let count = base + u64::from(i < extra);
-        out.push((start, count));
-        start += count;
-    }
-    out
-}
-
-/// Runs `count` devices with a batch-specific deterministic RNG, returning
+/// Runs `count` devices with a shard-specific deterministic RNG (seeded by
+/// the shard's first device index), returning
 /// `(failures, devices_with_faults, sum_of_failure_times)`.
 fn run_batch(
     policy: EccPolicy,
@@ -234,20 +244,21 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
+        // The shard decomposition is fixed (SHARD_DEVICES-sized shards seeded
+        // by their first device index) and shards are merged in shard order,
+        // so results are bit-identical regardless of worker count.
         let m = FaultModel::sridharan();
-        let mut p1 = quick_params(50_000);
-        p1.threads = 1;
-        let mut p4 = quick_params(50_000);
-        p4.threads = 4;
-        // Same batch decomposition is not guaranteed, but the per-batch
-        // seeding is tied to device indices via batch starts — so equal
-        // thread counts give equal results; different thread counts give
-        // statistically consistent ones.
-        let a = simulate(EccPolicy::Secded, &m, &p1);
-        let b = simulate(EccPolicy::Secded, &m, &p4);
-        let rel = (a.failure_probability - b.failure_probability).abs()
-            / a.failure_probability.max(1e-12);
-        assert!(rel < 0.25, "thread-count variance too high: {rel}");
+        // Spans multiple shards so the work queue actually interleaves.
+        let devices = 3 * SHARD_DEVICES + 1_000;
+        let baseline = {
+            let p = SimParams { devices, threads: 1, ..Default::default() };
+            simulate(EccPolicy::Secded, &m, &p)
+        };
+        for threads in [2usize, 8] {
+            let p = SimParams { devices, threads, ..Default::default() };
+            let r = simulate(EccPolicy::Secded, &m, &p);
+            assert_eq!(baseline, r, "threads={threads} diverged from threads=1");
+        }
     }
 
     #[test]
@@ -335,18 +346,4 @@ mod tests {
         assert!((a.improvement_over(&b) - 100.0).abs() < 1e-9);
     }
 
-    #[test]
-    fn batch_split_covers_all_devices() {
-        for (total, parts) in [(100u64, 7u64), (5, 10), (0, 3), (1_000_000, 16)] {
-            let batches = split_batches(total, parts);
-            let sum: u64 = batches.iter().map(|b| b.1).sum();
-            assert_eq!(sum, total);
-            // Starts are contiguous.
-            let mut expect = 0;
-            for (s, c) in batches {
-                assert_eq!(s, expect);
-                expect += c;
-            }
-        }
-    }
 }

@@ -17,6 +17,10 @@
 //!   IVEC, LOT-ECC and Non-Secure.
 //! * [`faultsim`] — Monte-Carlo DRAM reliability simulator with the
 //!   Sridharan field-study fault model.
+//! * [`campaign`] — differential fault-injection campaign: the analytic
+//!   reliability verdicts cross-checked against the functional SECDED /
+//!   Chipkill / SYNERGY recovery pipelines, with replayable reproducers
+//!   for any disagreement.
 //! * [`obs`] — telemetry: log-bucketed latency histograms, the named
 //!   metric registry, request-lifecycle span tracing, JSON/CSV export.
 //! * [`core`] — the SYNERGY functional memory (MAC-in-ECC-chip co-location,
@@ -50,6 +54,7 @@
 //! ```
 
 pub use synergy_cache as cache;
+pub use synergy_campaign as campaign;
 pub use synergy_core as core;
 pub use synergy_crypto as crypto;
 pub use synergy_dram as dram;

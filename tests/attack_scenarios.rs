@@ -3,6 +3,7 @@
 //! replay, Rowhammer-style flips, and parity manipulation.
 
 use synergy::core::memory::{MemoryError, SynergyMemory, SynergyMemoryConfig};
+use synergy::core::testsupport;
 use synergy::crypto::CacheLine;
 
 fn mem() -> SynergyMemory {
@@ -126,7 +127,7 @@ fn parity_tampering_cannot_forge() {
     // patterns (identical patterns would cancel in the ParityP algebra and
     // hand correction the true parity back — amusing, but not this test).
     for chip in 0..9 {
-        m.inject_chip_pattern(p_addr, chip, [(chip as u8 + 1) * 17; 8]);
+        m.inject_chip_pattern(p_addr, chip, testsupport::distinct_pattern(chip));
     }
     // Clean data: parity never consulted, read fine.
     assert_eq!(m.read_line(0x400).unwrap().data, line(0x11));
@@ -148,8 +149,8 @@ fn legitimate_write_heals_tampered_line() {
     let mut m = mem();
     m.write_line(0, &line(1)).unwrap();
     let mut raw = m.snapshot_raw(0);
-    raw.corrupt_chip(0, [0xAA; 8]);
-    raw.corrupt_chip(5, [0xBB; 8]); // two chips: unreadable
+    raw.corrupt_chip(0, testsupport::distinct_pattern(0));
+    raw.corrupt_chip(5, testsupport::distinct_pattern(5)); // two chips: unreadable
     m.overwrite_raw(0, raw);
     assert!(is_attack(m.read_line(0)));
     // The next write replaces everything.

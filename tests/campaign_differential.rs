@@ -1,0 +1,39 @@
+//! Tier-1 differential campaign: the functional recovery pipelines must
+//! agree with the analytic reliability model, identically for any thread
+//! count.
+
+use synergy::campaign::{run, CampaignParams, Design, Outcome, SHARD_INJECTIONS};
+
+fn params(injections: u64, threads: usize) -> CampaignParams {
+    CampaignParams { injections, threads, seed: 0x7E57_CA3B, ..Default::default() }
+}
+
+#[test]
+fn small_campaign_has_zero_mismatches() {
+    let r = run(&params(1_200, 0));
+    assert!(r.passed(), "functional-vs-analytic mismatches: {:#?}", r.mismatches);
+    assert_eq!(r.matrix.total(), 1_200);
+    // Mismatch-free means the functional failure count IS the analytic one.
+    for (i, d) in Design::ALL.iter().enumerate() {
+        assert_eq!(r.matrix.design_failures(*d), r.analytic_failures[i]);
+    }
+}
+
+#[test]
+fn synergy_never_silently_corrupts() {
+    // The paper's core claim: MAC-based detection converts would-be SDCs
+    // into corrections (one chip) or detected crashes (multi-chip).
+    let r = run(&params(1_200, 0));
+    assert_eq!(r.matrix.get(Design::Synergy, Outcome::SilentDataCorruption), 0);
+    assert_eq!(r.matrix.get(Design::Synergy, Outcome::DetectedUncorrectable), 0);
+}
+
+#[test]
+fn campaign_results_are_thread_count_invariant() {
+    // Spans shard boundaries so the work queue genuinely interleaves.
+    let injections = SHARD_INJECTIONS + 700;
+    let baseline = run(&params(injections, 1));
+    for threads in [2, 8] {
+        assert_eq!(baseline, run(&params(injections, threads)), "threads={threads} diverged");
+    }
+}
