@@ -23,54 +23,52 @@ fn main() {
     let mut syn_all = Vec::new();
     let mut metrics = MetricsSnapshot::new();
 
+    // One cell per (design, workload): all cells are independent, so the
+    // sweep runner fans them across threads; results come back in cell
+    // order and the telemetry fold below stays deterministic.
+    let mut cells = Vec::new();
     for w in &workloads {
-        let base = run_workload(DesignConfig::sgx_o(), w, 2);
-        let sgx = run_workload(DesignConfig::sgx(), w, 2);
-        let syn = run_workload(DesignConfig::synergy(), w, 2);
-        metrics.add_run("sgx_o", w.name, &base);
-        metrics.add_run("sgx", w.name, &sgx);
-        metrics.add_run("synergy", w.name, &syn);
+        cells.push(SweepCell::single(DesignConfig::sgx_o(), w, 2));
+        cells.push(SweepCell::single(DesignConfig::sgx(), w, 2));
+        cells.push(SweepCell::single(DesignConfig::synergy(), w, 2));
+    }
+    let mixes = if full_sweep() { presets::mixes() } else { Vec::new() };
+    for mix in &mixes {
+        cells.push(SweepCell::mix(DesignConfig::sgx_o(), mix, 2));
+        cells.push(SweepCell::mix(DesignConfig::sgx(), mix, 2));
+        cells.push(SweepCell::mix(DesignConfig::synergy(), mix, 2));
+    }
+    let report = run_sweep(&cells);
+    report.print_summary();
+
+    for (triple, cell) in report.results.chunks(3).zip(cells.chunks(3)) {
+        let [base, sgx, syn] = triple else { unreachable!("cells pushed in triples") };
+        let name = cell[0].workload_name();
+        let is_mix = matches!(cell[0].workload, SweepWorkload::Mix(_));
+        metrics.add_run("sgx_o", name, base);
+        metrics.add_run("sgx", name, sgx);
+        metrics.add_run("synergy", name, syn);
         let sgx_rel = sgx.ipc / base.ipc;
         let syn_rel = syn.ipc / base.ipc;
         sgx_all.push(sgx_rel);
         syn_all.push(syn_rel);
-        let entry = by_suite.entry(w.suite).or_default();
+        let (suite_key, suite_label) = if is_mix {
+            (Suite::Mix, "MIX".to_string())
+        } else {
+            let w = workloads.iter().find(|w| w.name == name).expect("single cell");
+            (w.suite, w.suite.to_string())
+        };
+        let entry = by_suite.entry(suite_key).or_default();
         entry.0.push(sgx_rel);
         entry.1.push(syn_rel);
         rows.push(vec![
-            w.name.to_string(),
-            w.suite.to_string(),
+            name.to_string(),
+            suite_label.clone(),
             format!("{sgx_rel:.2}"),
             "1.00".into(),
             format!("{syn_rel:.2}"),
         ]);
-        csv.push(format!("{},{},{sgx_rel:.4},1.0,{syn_rel:.4}", w.name, w.suite));
-    }
-
-    if full_sweep() {
-        for mix in presets::mixes() {
-            let base = run_mix(DesignConfig::sgx_o(), &mix, 2);
-            let sgx = run_mix(DesignConfig::sgx(), &mix, 2);
-            let syn = run_mix(DesignConfig::synergy(), &mix, 2);
-            metrics.add_run("sgx_o", mix.name, &base);
-            metrics.add_run("sgx", mix.name, &sgx);
-            metrics.add_run("synergy", mix.name, &syn);
-            let sgx_rel = sgx.ipc / base.ipc;
-            let syn_rel = syn.ipc / base.ipc;
-            sgx_all.push(sgx_rel);
-            syn_all.push(syn_rel);
-            let entry = by_suite.entry(Suite::Mix).or_default();
-            entry.0.push(sgx_rel);
-            entry.1.push(syn_rel);
-            rows.push(vec![
-                mix.name.to_string(),
-                "MIX".into(),
-                format!("{sgx_rel:.2}"),
-                "1.00".into(),
-                format!("{syn_rel:.2}"),
-            ]);
-            csv.push(format!("{},MIX,{sgx_rel:.4},1.0,{syn_rel:.4}", mix.name));
-        }
+        csv.push(format!("{name},{suite_label},{sgx_rel:.4},1.0,{syn_rel:.4}"));
     }
 
     for (suite, (sgx_v, syn_v)) in &by_suite {
@@ -98,5 +96,6 @@ fn main() {
         gmean(&sgx_all)
     );
     write_csv("fig08_performance", "workload,suite,sgx,sgx_o,synergy", &csv);
+    metrics.add_registry("sweep", &report.registry(), &[]);
     metrics.write("fig08_performance");
 }

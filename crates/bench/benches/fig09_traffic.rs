@@ -52,10 +52,15 @@ fn main() {
     let designs = [DesignConfig::sgx(), DesignConfig::sgx_o(), DesignConfig::synergy()];
     let mut aggs: Vec<Agg> = designs.iter().map(|_| Agg::new()).collect();
     let mut metrics = MetricsSnapshot::new();
-    for w in &workloads {
-        for (d, agg) in designs.iter().zip(aggs.iter_mut()) {
-            let r = run_workload(d.clone(), w, 2);
-            metrics.add_run(d.name, w.name, &r);
+    let cells: Vec<SweepCell> = workloads
+        .iter()
+        .flat_map(|w| designs.iter().map(|d| SweepCell::single(d.clone(), w, 2)))
+        .collect();
+    let report = run_sweep(&cells);
+    report.print_summary();
+    for (w, designs_chunk) in workloads.iter().zip(report.results.chunks(designs.len())) {
+        for ((d, agg), r) in designs.iter().zip(aggs.iter_mut()).zip(designs_chunk) {
+            metrics.add_run(d.name, w.name, r);
             agg.add(&r.traffic);
         }
     }
@@ -135,5 +140,6 @@ fn main() {
     println!("measured: Synergy reduces overall memory accesses by {:.0}%", 100.0 * syn_reduction);
     let csv_header = format!("section,design,{},total", class_names.join(","));
     write_csv("fig09_traffic", &csv_header, &csv);
+    metrics.add_registry("sweep", &report.registry(), &[]);
     metrics.write("fig09_traffic");
 }

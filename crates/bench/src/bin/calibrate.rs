@@ -4,18 +4,34 @@ use synergy_dram::RequestClass;
 use synergy_secure::DesignConfig;
 use synergy_trace::presets;
 
+const WORKLOADS: [&str; 7] = ["mcf", "libquantum", "lbm", "milc", "pr-twi", "pr-web", "omnetpp"];
+
 fn main() {
     let mut metrics = MetricsSnapshot::new();
-    for name in ["mcf", "libquantum", "lbm", "milc", "pr-twi", "pr-web", "omnetpp"] {
-        let w = presets::by_name(name).unwrap();
-        let base = run_workload(DesignConfig::sgx_o(), &w, 2);
-        let ns = run_workload(DesignConfig::non_secure(), &w, 2);
-        let sgx = run_workload(DesignConfig::sgx(), &w, 2);
-        let syn = run_workload(DesignConfig::synergy(), &w, 2);
-        metrics.add_run("sgx_o", name, &base);
-        metrics.add_run("non_secure", name, &ns);
-        metrics.add_run("sgx", name, &sgx);
-        metrics.add_run("synergy", name, &syn);
+    // Designs in fold order; sgx_o first so each chunk's baseline leads.
+    let designs = [
+        ("sgx_o", DesignConfig::sgx_o()),
+        ("non_secure", DesignConfig::non_secure()),
+        ("sgx", DesignConfig::sgx()),
+        ("synergy", DesignConfig::synergy()),
+    ];
+    let cells: Vec<SweepCell> = WORKLOADS
+        .iter()
+        .flat_map(|name| {
+            let w = presets::by_name(name).unwrap();
+            designs
+                .iter()
+                .map(move |(_, d)| SweepCell::single(d.clone(), &w, 2))
+        })
+        .collect();
+    let report = run_sweep(&cells);
+    report.print_summary();
+
+    for (name, chunk) in WORKLOADS.iter().zip(report.results.chunks(designs.len())) {
+        let [base, ns, sgx, syn] = chunk else { unreachable!("cells pushed per design") };
+        for ((key, _), r) in designs.iter().zip(chunk) {
+            metrics.add_run(key, name, r);
+        }
         println!(
             "{name:12} NS={:.2} SGX={:.2} SYN={:.2} | base ipc={:.2} apki(D/C/T/M/P r+w)={:.1}/{:.1}/{:.1}/{:.1}/{:.1} | syn edp={:.2}",
             ns.ipc / base.ipc,
@@ -30,5 +46,6 @@ fn main() {
             syn.edp() / base.edp(),
         );
     }
+    metrics.add_registry("sweep", &report.registry(), &[]);
     metrics.write("calibrate");
 }

@@ -6,10 +6,22 @@ use synergy_trace::presets;
 
 fn main() {
     let mut metrics = MetricsSnapshot::new();
-    for name in ["pr-web", "pr-twi"] {
-        let w = presets::by_name(name).unwrap();
-        for d in [DesignConfig::sgx(), DesignConfig::sgx_o()] {
-            let r = run_workload(d.clone(), &w, 2);
+    let names = ["pr-web", "pr-twi"];
+    let designs = [DesignConfig::sgx(), DesignConfig::sgx_o()];
+    let cells: Vec<SweepCell> = names
+        .iter()
+        .flat_map(|name| {
+            let w = presets::by_name(name).unwrap();
+            designs.iter().map(move |d| SweepCell::single(d.clone(), &w, 2))
+        })
+        .collect();
+    let report = run_sweep(&cells);
+    report.print_summary();
+    for ((name, chunk), cell_chunk) in
+        names.iter().zip(report.results.chunks(designs.len())).zip(cells.chunks(designs.len()))
+    {
+        for (r, cell) in chunk.iter().zip(cell_chunk) {
+            let d = &cell.design;
             // Full per-run component registry — this bin exists to expose
             // internals, so keep every metric rather than the aggregate.
             metrics.add_registry(
@@ -30,5 +42,6 @@ fn main() {
                 100.0*(1.0-r.llc.miss_ratio()));
         }
     }
+    metrics.add_registry("sweep", &report.registry(), &[]);
     metrics.write("debug_probe");
 }

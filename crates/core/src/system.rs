@@ -85,6 +85,13 @@ pub struct SystemConfig {
     pub warmup_records_per_core: u64,
     /// Telemetry collection (spans, epoch time-series).
     pub telemetry: TelemetryConfig,
+    /// Event-horizon fast path: when every core is provably stalled on
+    /// memory, jump the clock to the next event (DRAM completion, refresh,
+    /// command-issue horizon, LLC-hit delivery or epoch boundary) instead
+    /// of ticking idle cycles one by one. Results are bit-identical to
+    /// per-cycle ticking (`tests/sweep_determinism.rs` pins this); disable
+    /// only to produce the reference run for that comparison.
+    pub fast_forward: bool,
 }
 
 /// Telemetry collection configuration.
@@ -122,6 +129,7 @@ impl SystemConfig {
             core_power_w: 12.0,
             warmup_records_per_core: 0,
             telemetry: TelemetryConfig::default(),
+            fast_forward: true,
         }
     }
 }
@@ -307,6 +315,8 @@ struct MemSide {
     load_map: HashMap<u64, (usize, u64)>,
     next_id: u64,
     tracer: SpanTracer,
+    /// Reused DRAM drain buffer (avoids a `Vec` allocation per cycle).
+    completions: Vec<synergy_dram::Completion>,
 }
 
 impl MemSide {
@@ -317,13 +327,17 @@ impl MemSide {
             load_map: HashMap::new(),
             next_id: 1,
             tracer,
+            completions: Vec::with_capacity(64),
         }
     }
 
     /// Advances DRAM one cycle: delivers completions (closing spans and
     /// unblocking loads) and replays deferred requests into freed queues.
     fn tick(&mut self, cores: &mut [Core], cycle: u64) {
-        for completion in self.dram.tick() {
+        let mut buf = std::mem::take(&mut self.completions);
+        buf.clear();
+        self.dram.tick_into(&mut buf);
+        for completion in buf.drain(..) {
             self.tracer
                 .event(completion.id, SpanPhase::DramIssue, completion.issue_cycle);
             self.tracer.complete(completion.id, cycle);
@@ -331,6 +345,7 @@ impl MemSide {
                 cores[core].mark_progress(pos);
             }
         }
+        self.completions = buf;
         while let Some(req) = self.deferred.front().copied() {
             if self.dram.enqueue(req) {
                 self.tracer.event(req.id, SpanPhase::DramEnqueue, cycle);
@@ -367,6 +382,75 @@ impl MemSide {
 
     fn has_backpressure(&self) -> bool {
         !self.deferred.is_empty()
+    }
+}
+
+/// Fast-path economics: a jump shorter than this many cycles does not pay
+/// for the stall scan that proved it safe, so the run loop treats it as a
+/// miss and backs off before re-checking. Tuning either constant trades
+/// wall-clock only — skips are bit-invisible by construction.
+const FF_MIN_PROFITABLE_SKIP: u64 = 4;
+/// Cycles to wait before re-attempting a fast-forward after a miss; doubles
+/// on consecutive misses up to [`FF_BACKOFF_MAX`] so a saturated memory
+/// phase (events every cycle or two) pays for the stall scan at most once
+/// per 64 cycles, and resets on the first profitable jump.
+const FF_BACKOFF_CYCLES: u64 = 8;
+/// Upper bound for the exponential backoff; also the most idle cycles a
+/// late re-check can leave on the table, which per-cycle ticking absorbs.
+const FF_BACKOFF_MAX: u64 = 64;
+
+/// True when `core` can make no progress this cycle *and* its state
+/// cannot change until a memory-side event (a DRAM completion, a DRAM
+/// command issuing — which is what frees queue space and clears
+/// back-pressure — or a scheduled LLC-hit delivery).
+///
+/// The conditions are stable over time: between events, a stalled core's
+/// state is only touched by its own (no-op) stepping, so a window in which
+/// every core is stalled and no memory event falls may be skipped outright.
+/// The check is conservative — any doubt (e.g. the next trace record has
+/// not been fetched yet) counts as "not stalled" and falls back to
+/// per-cycle stepping.
+fn core_stalled(core: &Core, cfg: &SystemConfig, backpressure: bool) -> bool {
+    if core.finished() {
+        return true;
+    }
+    // Retirement must be blocked: either the ROB head is an incomplete
+    // load, or the ROB is empty (fetch decides below).
+    let retire_blocked = core.first_incomplete_load() == Some(core.retire_pos)
+        || core.fetch_pos == core.retire_pos;
+    if !retire_blocked {
+        return false;
+    }
+    // Fetch must be blocked too.
+    if !core.rob_free(cfg.rob_size) {
+        return true; // ROB full; only a completion can free it.
+    }
+    if core.gap_left > 0 {
+        return false; // Gap instructions still fetch.
+    }
+    match core.pending {
+        Some(rec) => backpressure || (rec.dependent && core.any_load_incomplete()),
+        None => false, // Next record unknown — must fetch to find out.
+    }
+}
+
+/// The earliest cycle at which any stalled core can wake: the DRAM event
+/// horizon or a scheduled LLC-hit delivery. `None` means no event is ever
+/// coming (a genuine deadlock — left to the per-cycle guard to report).
+fn next_wake_cycle(cores: &[Core], mem: &MemSide) -> Option<u64> {
+    let mut wake = u64::MAX;
+    if let Some(e) = mem.dram.next_event_cycle() {
+        wake = wake.min(e);
+    }
+    for core in cores {
+        for &(at, _) in &core.llc_hits {
+            wake = wake.min(at);
+        }
+    }
+    if wake == u64::MAX {
+        None
+    } else {
+        Some(wake)
     }
 }
 
@@ -426,6 +510,11 @@ pub fn run(
     };
     let mut mem = MemSide::new(dram, tracer);
     let mut registry = MetricRegistry::new();
+    let wall = synergy_obs::Stopwatch::start();
+    let mut ff_jumps: u64 = 0;
+    let mut ff_skipped_cycles: u64 = 0;
+    let mut ff_retry_at: u64 = 0;
+    let mut ff_backoff: u64 = FF_BACKOFF_CYCLES;
 
     let mut mem_cycle: u64 = 0;
     // Generous deadlock guard: a core retiring one instruction per 1000
@@ -485,6 +574,51 @@ pub fn run(
                 cores.iter().filter(|c| !c.finished()).count()
             );
         }
+
+        // 6. Event-horizon fast path: if every core is provably stalled on
+        // memory, nothing can happen until the next event — jump straight
+        // to it instead of ticking empty cycles. Epoch boundaries cap the
+        // jump one cycle short so the increment above still performs the
+        // scheduled sample; span timestamps are unaffected because no
+        // traced event falls inside the skipped window.
+        //
+        // A failed or tiny jump backs off for a few cycles: when events
+        // are dense (heavily loaded channels) the stall scan and wake
+        // computation cost more than the one or two skipped cycles buy
+        // back, so re-checking every cycle would make the fast path a net
+        // loss. Backing off only forgoes skips — it cannot change results.
+        //
+        // Once every core is finished the loop exits; jumping further
+        // would only inflate the final cycle count past the sequential
+        // reference.
+        if cfg.fast_forward && mem_cycle >= ff_retry_at {
+            let mut skipped = 0;
+            if cores.iter().any(|c| !c.finished())
+                && cores
+                    .iter()
+                    .all(|c| core_stalled(c, cfg, mem.has_backpressure()))
+            {
+                if let Some(mut target) = next_wake_cycle(&cores, &mem) {
+                    if let Some(epochs_done) = mem_cycle.checked_div(epoch) {
+                        let next_boundary = (epochs_done + 1) * epoch;
+                        target = target.min(next_boundary - 1);
+                    }
+                    if target > mem_cycle {
+                        skipped = target - mem_cycle;
+                        ff_jumps += 1;
+                        ff_skipped_cycles += skipped;
+                        mem.dram.skip_to(target);
+                        mem_cycle = target;
+                    }
+                }
+            }
+            if skipped < FF_MIN_PROFITABLE_SKIP {
+                ff_retry_at = mem_cycle + ff_backoff;
+                ff_backoff = (ff_backoff * 2).min(FF_BACKOFF_MAX);
+            } else {
+                ff_backoff = FF_BACKOFF_CYCLES;
+            }
+        }
     }
 
     let core_cycles: Vec<u64> =
@@ -511,6 +645,15 @@ pub fn run(
     registry.set_gauge("core.system.seconds", seconds);
     registry.set_counter("core.system.spans_completed", mem.tracer.completed());
     registry.set_counter("core.system.spans_dropped", mem.tracer.dropped());
+    // Simulator-throughput metrics: wall-clock speed and how much work the
+    // event-horizon fast path saved. These describe the simulator itself,
+    // not the simulated system, and are the only wall-clock-dependent
+    // values in the result (excluded from determinism comparisons).
+    registry.set_gauge("sim.cycles_per_sec", wall.rate(mem_cycle));
+    registry.set_gauge("sim.wall_seconds", wall.elapsed_secs());
+    registry.set_counter("sim.ff_jumps", ff_jumps);
+    registry.set_counter("sim.ff_skipped_cycles", ff_skipped_cycles);
+    registry.set_counter("sim.issue_scan_skips", mem.dram.scan_skips());
     let telemetry = Telemetry {
         slowest: mem.tracer.slowest(cfg.telemetry.top_k),
         recent: mem.tracer.recent().cloned().collect(),

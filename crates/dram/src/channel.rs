@@ -57,6 +57,17 @@ struct PendingCompletion {
     issue_cycle: u64,
 }
 
+/// A command the FR-FCFS scan found issueable this cycle.
+#[derive(Debug, Clone, Copy)]
+enum Candidate {
+    /// Column command for queue `kind`, request index `idx`.
+    Col(AccessKind, usize),
+    /// Row activation for the bank at `loc`.
+    Act(DramLocation),
+    /// Precharge for the bank at `loc`.
+    Pre(DramLocation),
+}
+
 /// One DRAM channel with its queues and device state.
 #[derive(Debug, Clone)]
 pub(crate) struct Channel {
@@ -68,6 +79,15 @@ pub(crate) struct Channel {
     draining: bool,
     bus_free_at: u64,
     last_bus_op: Option<AccessKind>,
+    /// Earliest cycle at which any queued command could legally issue,
+    /// given the bank/rank/bus state as of the last failed scan. `0` means
+    /// "unknown — rescan": the cache is invalidated whenever channel state
+    /// changes through a path other than pure time passing (an enqueue, a
+    /// command issue, or a refresh firing). While `cycle <
+    /// issue_horizon`, the FR-FCFS scan is provably fruitless and skipped.
+    issue_horizon: u64,
+    /// FR-FCFS scans skipped thanks to `issue_horizon` (observability).
+    scan_skips: u64,
 }
 
 impl Channel {
@@ -91,6 +111,8 @@ impl Channel {
             draining: false,
             bus_free_at: 0,
             last_bus_op: None,
+            issue_horizon: 0,
+            scan_skips: 0,
         }
     }
 
@@ -112,6 +134,36 @@ impl Channel {
             AccessKind::Read => self.read_q.push_back(q),
             AccessKind::Write => self.write_q.push_back(q),
         }
+        // A new request may be issueable before the cached horizon.
+        self.issue_horizon = 0;
+    }
+
+    pub(crate) fn scan_skips(&self) -> u64 {
+        self.scan_skips
+    }
+
+    /// The earliest future cycle at which this channel's externally visible
+    /// state can change on its own: a pending read completing, a refresh
+    /// deadline, or a queued command becoming issueable (which also covers
+    /// write-drain watermark crossings — queue occupancy only moves when a
+    /// command issues or the caller enqueues). Returns `0` when the issue
+    /// horizon is unknown (a command just issued or state just changed):
+    /// the caller must keep ticking per cycle until the horizon is
+    /// re-established. Returns `u64::MAX` when nothing is pending at all.
+    pub(crate) fn next_event_cycle(&self, cfg: &DramConfig) -> u64 {
+        let mut event = u64::MAX;
+        for p in &self.pending {
+            event = event.min(p.at);
+        }
+        if cfg.timing.t_refi != 0 {
+            for r in &self.ranks {
+                event = event.min(r.next_refresh);
+            }
+        }
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            event = event.min(self.issue_horizon);
+        }
+        event
     }
 
     /// Advances one memory cycle: retires finished reads, handles refresh,
@@ -142,7 +194,22 @@ impl Channel {
 
         self.handle_refresh(cycle, &cfg.timing, stats);
         self.update_drain_mode(cfg);
-        self.issue_one_command(cycle, &cfg.timing, stats);
+        if cycle < self.issue_horizon {
+            // The last scan proved no command can issue before
+            // `issue_horizon`, and nothing invalidated that proof since.
+            debug_assert!(
+                self.find_candidate(cycle, &cfg.timing).is_none(),
+                "issue horizon skipped over a ready command at cycle {cycle}"
+            );
+            self.scan_skips += 1;
+            return;
+        }
+        if self.issue_one_command(cycle, &cfg.timing, stats) {
+            // Bank/bus/queue state changed; next cycle must rescan.
+            self.issue_horizon = 0;
+        } else {
+            self.issue_horizon = self.next_issue_cycle(cycle, &cfg.timing);
+        }
     }
 
     fn handle_refresh(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats) {
@@ -158,6 +225,8 @@ impl Channel {
                 }
                 rank.next_refresh += t.t_refi;
                 stats.refreshes += 1;
+                // Closed rows flip column candidates into ACT candidates.
+                self.issue_horizon = 0;
             }
         }
     }
@@ -170,24 +239,22 @@ impl Channel {
         }
     }
 
-    fn issue_one_command(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats) {
-        // Service order: the drained queue first, then the other when the
-        // primary can make no progress this cycle. The fallback matters
-        // beyond opportunism: a queued write that row-hits an open row
-        // blocks the precharge a queued read needs (row-hit friendliness),
-        // so the write must be allowed to issue or the pair deadlocks
-        // until a refresh closes the row.
-        let primary = if self.draining || self.read_q.is_empty() {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
-        let secondary = match primary {
-            AccessKind::Read => AccessKind::Write,
-            AccessKind::Write => AccessKind::Read,
-        };
-        if !self.try_issue_for_queue(cycle, t, stats, primary) {
-            self.try_issue_for_queue(cycle, t, stats, secondary);
+    /// Issues at most one command. Returns true when one issued.
+    fn issue_one_command(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats) -> bool {
+        match self.find_candidate(cycle, t) {
+            Some(Candidate::Col(kind, idx)) => {
+                self.issue_col_command(cycle, t, stats, kind, idx);
+                true
+            }
+            Some(Candidate::Act(loc)) => {
+                self.issue_act(cycle, t, stats, loc);
+                true
+            }
+            Some(Candidate::Pre(loc)) => {
+                self.issue_pre(cycle, t, stats, loc);
+                true
+            }
+            None => false,
         }
     }
 
@@ -198,29 +265,47 @@ impl Channel {
         }
     }
 
-    /// Attempts to issue one command on behalf of `kind`'s queue.
-    /// Returns true if a command was issued.
-    fn try_issue_for_queue(
-        &mut self,
+    /// The command the scheduler would issue this cycle, if any.
+    ///
+    /// Service order: the drained queue first, then the other when the
+    /// primary can make no progress this cycle. The fallback matters
+    /// beyond opportunism: a queued write that row-hits an open row
+    /// blocks the precharge a queued read needs (row-hit friendliness),
+    /// so the write must be allowed to issue or the pair deadlocks
+    /// until a refresh closes the row.
+    fn find_candidate(&self, cycle: u64, t: &TimingParams) -> Option<Candidate> {
+        let primary = if self.draining || self.read_q.is_empty() {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let secondary = match primary {
+            AccessKind::Read => AccessKind::Write,
+            AccessKind::Write => AccessKind::Read,
+        };
+        self.find_candidate_for_queue(cycle, t, primary)
+            .or_else(|| self.find_candidate_for_queue(cycle, t, secondary))
+    }
+
+    /// FR-FCFS scan over `kind`'s queue (read-only).
+    fn find_candidate_for_queue(
+        &self,
         cycle: u64,
         t: &TimingParams,
-        stats: &mut DramStats,
         kind: AccessKind,
-    ) -> bool {
+    ) -> Option<Candidate> {
         // Pass 1 — FR: oldest request whose column command is ready now.
-        let col_candidate = self
+        if let Some((idx, _)) = self
             .queue(kind)
             .iter()
             .enumerate()
             .find(|(_, q)| self.col_command_ready(cycle, t, q, kind))
-            .map(|(i, _)| i);
-        if let Some(idx) = col_candidate {
-            self.issue_col_command(cycle, t, stats, kind, idx);
-            return true;
+        {
+            return Some(Candidate::Col(kind, idx));
         }
 
         // Pass 2 — FCFS: oldest requests' row commands (ACT or PRE).
-        let row_candidate = self.queue(kind).iter().enumerate().find_map(|(i, q)| {
+        self.queue(kind).iter().find_map(|q| {
             let bank = &self.banks[q.loc.rank][q.loc.bank];
             match bank.open_row {
                 Some(row) if row == q.loc.row => None, // waiting on tCCD/bus only
@@ -228,30 +313,87 @@ impl Channel {
                     // Precharge, but not while an older request in either
                     // queue still hits the open row (row-hit friendliness).
                     if cycle >= bank.ready_pre && !self.row_has_waiting_hit(q.loc) {
-                        Some((i, false))
+                        Some(Candidate::Pre(q.loc))
                     } else {
                         None
                     }
                 }
                 None => {
                     if self.act_allowed(cycle, t, q.loc) {
-                        Some((i, true))
+                        Some(Candidate::Act(q.loc))
                     } else {
                         None
                     }
                 }
             }
-        });
-        if let Some((idx, is_act)) = row_candidate {
-            let loc = self.queue(kind)[idx].loc;
-            if is_act {
-                self.issue_act(cycle, t, stats, loc);
-            } else {
-                self.issue_pre(cycle, t, stats, loc);
+        })
+    }
+
+    /// A conservative lower bound (> `cycle`) on the next cycle at which
+    /// any queued command could issue, assuming no external state change
+    /// (enqueues, issues and refreshes all reset [`Self::issue_horizon`]).
+    ///
+    /// For each queued request the earliest legal issue cycle of its next
+    /// command is computed from the bank/rank/bus timestamps; the horizon
+    /// is the minimum over both queues. A precharge blocked by row-hit
+    /// friendliness contributes no bound of its own: it can only unblock
+    /// when the hitting request issues, which resets the horizon.
+    fn next_issue_cycle(&self, cycle: u64, t: &TimingParams) -> u64 {
+        let mut earliest = u64::MAX;
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            for q in self.queue(kind) {
+                let bank = &self.banks[q.loc.rank][q.loc.bank];
+                let candidate = match bank.open_row {
+                    Some(row) if row == q.loc.row => {
+                        // Column command: bank CAS readiness and the data
+                        // bus (data_start = issue + CAS/CWD lead must not
+                        // precede the bus becoming free).
+                        let lead = match kind {
+                            AccessKind::Read => t.t_cas,
+                            AccessKind::Write => t.t_cwd,
+                        };
+                        let mut bus_ready = self.bus_free_at;
+                        if let Some(last) = self.last_bus_op {
+                            if last != kind {
+                                bus_ready += t.t_turnaround;
+                                if last == AccessKind::Write && kind == AccessKind::Read {
+                                    bus_ready += t.t_wtr;
+                                }
+                            }
+                        }
+                        bank.ready_col.max(bus_ready.saturating_sub(lead))
+                    }
+                    Some(_) => {
+                        if self.row_has_waiting_hit(q.loc) {
+                            continue;
+                        }
+                        bank.ready_pre
+                    }
+                    None => {
+                        let rank = &self.ranks[q.loc.rank];
+                        let mut c = bank.ready_act;
+                        if rank.last_act != 0 {
+                            c = c.max(rank.last_act + t.t_rrd);
+                        }
+                        let in_window: Vec<u64> = rank
+                            .act_window
+                            .iter()
+                            .copied()
+                            .filter(|&at| at + t.t_faw > cycle)
+                            .collect();
+                        if in_window.len() >= 4 {
+                            // The oldest in-window ACT expiring frees a
+                            // tFAW slot.
+                            let oldest = in_window.iter().min().copied().unwrap_or(0);
+                            c = c.max(oldest + t.t_faw);
+                        }
+                        c
+                    }
+                };
+                earliest = earliest.min(candidate);
             }
-            return true;
         }
-        false
+        earliest.max(cycle + 1)
     }
 
     fn row_has_waiting_hit(&self, loc: DramLocation) -> bool {

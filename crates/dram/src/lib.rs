@@ -112,13 +112,66 @@ impl MemorySystem {
     }
 
     /// Advances one memory-bus cycle, returning reads completed this cycle.
+    ///
+    /// Convenience wrapper around [`Self::tick_into`] that allocates a
+    /// fresh vector per call; hot loops should own a drain buffer and call
+    /// [`Self::tick_into`] directly.
     pub fn tick(&mut self) -> Vec<Completion> {
         let mut completions = Vec::new();
+        self.tick_into(&mut completions);
+        completions
+    }
+
+    /// Advances one memory-bus cycle, appending reads completed this cycle
+    /// to the caller-owned `completions` buffer (not cleared first).
+    pub fn tick_into(&mut self, completions: &mut Vec<Completion>) {
         for ch in &mut self.channels {
-            ch.tick(self.cycle, &self.cfg, &mut completions, &mut self.stats);
+            ch.tick(self.cycle, &self.cfg, completions, &mut self.stats);
         }
         self.cycle += 1;
-        completions
+    }
+
+    /// The earliest future cycle at which any channel's state can change
+    /// on its own: a pending completion, a refresh deadline, or a queued
+    /// command becoming issueable. Returns `None` when the system is
+    /// completely idle (no queued work, no pending data, refresh
+    /// disabled). A return value of `Some(c)` with `c < self.cycle()`
+    /// means a channel's issue horizon is currently unknown (a command
+    /// just issued): the caller must keep ticking per cycle.
+    ///
+    /// Ticking every cycle strictly before the returned event is a no-op
+    /// for the whole memory system, so a driver may [`Self::skip_to`] the
+    /// event directly and observe bit-identical behaviour.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        let event = self
+            .channels
+            .iter()
+            .map(|ch| ch.next_event_cycle(&self.cfg))
+            .min()
+            .unwrap_or(u64::MAX);
+        if event == u64::MAX {
+            None
+        } else {
+            Some(event)
+        }
+    }
+
+    /// Fast-forwards the clock to `cycle` without ticking the skipped
+    /// range. Only sound when `cycle` does not lie beyond
+    /// [`Self::next_event_cycle`] — i.e. every skipped cycle would have
+    /// been a no-op tick. The clock never moves backwards.
+    pub fn skip_to(&mut self, cycle: u64) {
+        debug_assert!(
+            self.next_event_cycle().is_none_or(|e| cycle <= e),
+            "skip_to({cycle}) would jump over a channel event"
+        );
+        self.cycle = self.cycle.max(cycle);
+    }
+
+    /// FR-FCFS scans skipped across channels thanks to the cached
+    /// per-channel issue horizon (observability; see `sim.*` metrics).
+    pub fn scan_skips(&self) -> u64 {
+        self.channels.iter().map(Channel::scan_skips).sum()
     }
 
     /// Requests still queued or in flight.
@@ -138,11 +191,20 @@ impl MemorySystem {
 
     /// Runs until all queued work drains (or `max_cycles` elapse),
     /// collecting completions. Intended for tests and simple examples.
+    ///
+    /// Uses the event-horizon fast path: cycles in which no channel can
+    /// retire, refresh or issue are skipped in one [`Self::skip_to`] jump.
+    /// Results are bit-identical to ticking every cycle.
     pub fn run_until_idle(&mut self, max_cycles: u64) -> Vec<Completion> {
         let mut all = Vec::new();
         let deadline = self.cycle + max_cycles;
         while self.in_flight() > 0 && self.cycle < deadline {
-            all.extend(self.tick());
+            self.tick_into(&mut all);
+            if let Some(event) = self.next_event_cycle() {
+                if event > self.cycle {
+                    self.skip_to(event.min(deadline));
+                }
+            }
         }
         all
     }
@@ -385,6 +447,54 @@ mod tests {
             mem.tick();
         }
         assert!(mem.stats().refreshes > 0);
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_tick() {
+        // A mixed read/write burst with bank conflicts, row hits and
+        // refresh activity: the event-horizon path must reproduce the
+        // per-cycle-tick reference bit for bit — same completions in the
+        // same order, same statistics (including refresh counts).
+        let mk = || {
+            let mut mem = MemorySystem::new(DramConfig::default()).unwrap();
+            let cfg = DramConfig::default();
+            let bank_stride = cfg.channels as u64 * cfg.lines_per_row * 64;
+            let row_stride =
+                bank_stride * cfg.banks_per_rank as u64 * cfg.ranks_per_channel as u64;
+            for i in 0..24u64 {
+                // Interleave channels, banks, rows and directions.
+                let addr = (i % 2) * 64 + (i % 5) * bank_stride + (i % 3) * row_stride;
+                let req = if i % 4 == 3 { write(i, addr) } else { read(i, addr) };
+                assert!(mem.enqueue(req));
+            }
+            mem
+        };
+
+        // Reference: tick every cycle until idle, then through a refresh.
+        let mut reference = mk();
+        let mut ref_done = Vec::new();
+        for _ in 0..8000 {
+            reference.tick_into(&mut ref_done);
+        }
+
+        // Fast path: run_until_idle skips idle gaps, then jump through the
+        // same total cycle count via next_event_cycle/skip_to.
+        let mut fast = mk();
+        let mut fast_done = fast.run_until_idle(8000);
+        while fast.cycle() < 8000 {
+            fast.tick_into(&mut fast_done);
+            if let Some(event) = fast.next_event_cycle() {
+                if event > fast.cycle() {
+                    fast.skip_to(event.min(8000));
+                }
+            } else {
+                fast.skip_to(8000);
+            }
+        }
+
+        assert_eq!(ref_done, fast_done);
+        assert_eq!(reference.stats(), fast.stats());
+        assert!(fast.scan_skips() < reference.scan_skips() + 8000);
     }
 
     #[test]

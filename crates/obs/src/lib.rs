@@ -19,6 +19,8 @@
 //! * [`export`] — hand-rolled JSON/CSV snapshot serialization used by the
 //!   fig0x bench targets and the `calibrate` / `debug_probe` bins, written
 //!   under `target/experiments/metrics/`.
+//! * [`Stopwatch`] — wall-clock timing for simulator-throughput gauges
+//!   (`sim.cycles_per_sec`); never feeds back into simulated behaviour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +29,9 @@ pub mod export;
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod stopwatch;
 
 pub use hist::{HistogramSummary, LogHistogram};
 pub use registry::{metric_name, EpochSample, Metric, MetricRegistry, Observe};
 pub use span::{Span, SpanPhase, SpanTracer};
+pub use stopwatch::Stopwatch;

@@ -1,0 +1,55 @@
+//! Wall-clock timing for simulator-throughput metrics.
+//!
+//! The simulator's deterministic outputs never depend on wall time; the
+//! [`Stopwatch`] exists purely so runs can report their own speed
+//! (`sim.cycles_per_sec`, sweep wall-clock) into the metric registry.
+
+use std::time::Instant;
+
+/// A monotonic wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// `count / elapsed` as a rate per second, `0.0` before any time has
+    /// measurably passed (avoids publishing infinities into gauges).
+    #[must_use]
+    pub fn rate(&self, count: u64) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs > 0.0 {
+            count as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_rate_is_finite() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+        let r = sw.rate(1_000_000);
+        assert!(r.is_finite());
+    }
+}
