@@ -21,6 +21,10 @@
 //!   runner ([`sweep`]); defaults to the machine's available parallelism.
 //!   `1` reproduces the sequential run (results are byte-identical either
 //!   way — see [`trace_seed`]).
+//! * `SYNERGY_BENCH_FAIL_CYCLE` — memory cycle at which the degraded-mode
+//!   experiment (`fig_degraded`) injects its permanent chip failure
+//!   (default 2,000 — early enough that most of the run executes
+//!   degraded).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +39,7 @@ use std::path::PathBuf;
 
 use synergy_core::system::{run, SimResult, SystemConfig};
 use synergy_dram::{DramConfig, RequestClass};
+use synergy_faultsim::FaultSchedule;
 use synergy_obs::{export, MetricRegistry, Span};
 use synergy_secure::DesignConfig;
 use synergy_trace::{presets, MultiCoreTrace, WorkloadSpec};
@@ -88,21 +93,55 @@ pub fn trace_seed(channels: usize) -> u64 {
     0xBEEF ^ channels as u64
 }
 
+/// Memory cycle at which `fig_degraded` injects its chip failure
+/// (`SYNERGY_BENCH_FAIL_CYCLE`, default 2,000).
+pub fn bench_fail_cycle() -> u64 {
+    env_u64("SYNERGY_BENCH_FAIL_CYCLE", 2_000)
+}
+
 /// Runs one single-benchmark workload (rate mode, 4 cores) under `design`.
 pub fn run_workload(design: DesignConfig, workload: &WorkloadSpec, channels: usize) -> SimResult {
+    run_workload_with_faults(design, workload, channels, FaultSchedule::default())
+}
+
+/// Runs one single-benchmark workload under `design` with a scheduled
+/// fault injection — the degraded-mode experiment's entry point. An empty
+/// schedule reproduces [`run_workload`] exactly; the schedule is not part
+/// of [`trace_seed`], so healthy and degraded runs of the same cell
+/// consume the identical trace stream and their IPC ratio is a pure
+/// correction-traffic slowdown.
+pub fn run_workload_with_faults(
+    design: DesignConfig,
+    workload: &WorkloadSpec,
+    channels: usize,
+    faults: FaultSchedule,
+) -> SimResult {
     let mut cfg = SystemConfig::new(design);
     cfg.dram = DramConfig::with_channels(channels);
     cfg.warmup_records_per_core = bench_warmup();
+    cfg.fault_schedule = faults;
     let mut trace = MultiCoreTrace::rate_mode(workload, cfg.cores, trace_seed(channels));
     run(&cfg, &mut trace, bench_insts()).expect("simulation config is valid")
 }
 
 /// Runs a 4-benchmark mix under `design`.
 pub fn run_mix(design: DesignConfig, mix: &presets::MixSpec, channels: usize) -> SimResult {
+    run_mix_with_faults(design, mix, channels, FaultSchedule::default())
+}
+
+/// Runs a 4-benchmark mix under `design` with a scheduled fault injection
+/// (see [`run_workload_with_faults`]).
+pub fn run_mix_with_faults(
+    design: DesignConfig,
+    mix: &presets::MixSpec,
+    channels: usize,
+    faults: FaultSchedule,
+) -> SimResult {
     let members = presets::mix_members(mix);
     let mut cfg = SystemConfig::new(design);
     cfg.dram = DramConfig::with_channels(channels);
     cfg.warmup_records_per_core = bench_warmup();
+    cfg.fault_schedule = faults;
     let mut trace = MultiCoreTrace::mixed(&members, trace_seed(channels));
     run(&cfg, &mut trace, bench_insts()).expect("simulation config is valid")
 }

@@ -19,12 +19,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use synergy_core::system::SimResult;
+use synergy_faultsim::FaultSchedule;
 use synergy_obs::{MetricRegistry, Stopwatch};
 use synergy_secure::DesignConfig;
 use synergy_trace::presets::MixSpec;
 use synergy_trace::WorkloadSpec;
 
-use crate::{run_mix, run_workload};
+use crate::{run_mix_with_faults, run_workload_with_faults};
 
 /// Worker threads for [`run_sweep`]: `SYNERGY_BENCH_THREADS`, defaulting
 /// to the machine's available parallelism.
@@ -55,17 +56,38 @@ pub struct SweepCell {
     pub workload: SweepWorkload,
     /// DRAM channel count (affects the trace seed — see `trace_seed`).
     pub channels: usize,
+    /// Scheduled fault injections (empty for healthy runs). Deliberately
+    /// NOT part of the trace seed: a degraded cell replays the identical
+    /// trace as its healthy twin.
+    pub fault_schedule: FaultSchedule,
 }
 
 impl SweepCell {
     /// A single-benchmark cell.
     pub fn single(design: DesignConfig, workload: &WorkloadSpec, channels: usize) -> Self {
-        Self { design, workload: SweepWorkload::Single(workload.clone()), channels }
+        Self {
+            design,
+            workload: SweepWorkload::Single(workload.clone()),
+            channels,
+            fault_schedule: FaultSchedule::default(),
+        }
     }
 
     /// A mix cell.
     pub fn mix(design: DesignConfig, mix: &MixSpec, channels: usize) -> Self {
-        Self { design, workload: SweepWorkload::Mix(*mix), channels }
+        Self {
+            design,
+            workload: SweepWorkload::Mix(*mix),
+            channels,
+            fault_schedule: FaultSchedule::default(),
+        }
+    }
+
+    /// Attaches a fault schedule (builder-style).
+    #[must_use]
+    pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.fault_schedule = faults;
+        self
     }
 
     /// The workload name as shown on figure axes.
@@ -78,9 +100,14 @@ impl SweepCell {
 
     /// Runs this cell (same scale knobs as the sequential harness).
     pub fn run(&self) -> SimResult {
+        let faults = self.fault_schedule.clone();
         match &self.workload {
-            SweepWorkload::Single(w) => run_workload(self.design.clone(), w, self.channels),
-            SweepWorkload::Mix(m) => run_mix(self.design.clone(), m, self.channels),
+            SweepWorkload::Single(w) => {
+                run_workload_with_faults(self.design.clone(), w, self.channels, faults)
+            }
+            SweepWorkload::Mix(m) => {
+                run_mix_with_faults(self.design.clone(), m, self.channels, faults)
+            }
         }
     }
 }

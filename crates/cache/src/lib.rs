@@ -319,6 +319,25 @@ impl SetAssocCache {
         eviction
     }
 
+    /// Clears the dirty bit of a resident line, returning whether it was
+    /// dirty. LRU order and statistics are untouched (this is a coherence
+    /// action, not an access). Cache hierarchies that keep a *single*
+    /// dirty owner per line use this when a line is promoted into an
+    /// inner cache: the outer copy's pending writeback obligation is
+    /// claimed and travels inward with the line, so the same logical
+    /// dirty episode can never generate two writebacks.
+    pub fn take_dirty(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                let was = way.dirty;
+                way.dirty = false;
+                return was;
+            }
+        }
+        false
+    }
+
     /// Removes a line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let (set, tag) = self.set_and_tag(addr);
@@ -465,6 +484,23 @@ mod tests {
         assert!(c.fill(0, true).is_none());
         assert!(c.contains(0));
         assert!(c.contains(128));
+    }
+
+    #[test]
+    fn take_dirty_claims_writeback_obligation_once() {
+        let mut c = small();
+        c.fill(0, true);
+        let stats_before = *c.stats();
+        assert!(c.take_dirty(0), "first claim returns the dirty state");
+        assert!(!c.take_dirty(0), "second claim finds the line clean");
+        assert!(!c.take_dirty(64), "absent line is never dirty");
+        assert!(c.contains(0), "line stays resident");
+        assert_eq!(*c.stats(), stats_before, "no statistics disturbed");
+        // A clean eviction follows: the obligation left with the claimer.
+        c.fill(128, false);
+        let ev = c.fill(256, false).expect("set 0 overflows");
+        assert_eq!(ev.addr, 0);
+        assert!(!ev.dirty);
     }
 
     #[test]

@@ -52,6 +52,16 @@ pub fn tracked_fault_mac_computations(chain_levels: u32) -> u32 {
     1 + chain_levels
 }
 
+/// MAC recomputations of the one-time diagnosis burst when a failed chip
+/// is first detected (§III-B): trial reconstruction retries the line with
+/// the ECC chip's contribution rebuilt from parity first, then each of
+/// the 8 data chips, until the MAC verifies — at most 9 recomputations.
+/// Once diagnosed the chip is *tracked* and later corrections cost
+/// [`tracked_fault_mac_computations`] (no worse than error-free reads).
+pub fn diagnosis_mac_computations() -> u32 {
+    9
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +100,10 @@ mod tests {
         assert_eq!(max_mac_computations(9), 88);
         // And the §IV-A mitigation collapses it to the baseline's cost.
         assert_eq!(tracked_fault_mac_computations(9), 10);
+        // Diagnosis bounds: dearer than a tracked correction, cheaper
+        // than the worst-case untracked chain.
+        assert_eq!(diagnosis_mac_computations(), 9);
+        assert!(diagnosis_mac_computations() < max_mac_computations(9));
         assert!(tracked_fault_mac_computations(9) < max_mac_computations(9) / 8);
     }
 }

@@ -20,6 +20,11 @@
 //!   bandwidth (and parity-update bloat) but not latency.
 //! * **Energy/EDP** — event-based DRAM energy plus constant core power,
 //!   integrated over the simulated time (Figure 10).
+//! * **Degraded-mode operation** — a [`SystemConfig::fault_schedule`]
+//!   injects a permanent chip failure mid-run; the engine then expands
+//!   every data read with the design's correction traffic (§IV-A
+//!   lifecycle: detect → diagnose → track), and the one-time diagnosis
+//!   burst is charged as MAC latency on the detecting load.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -27,10 +32,13 @@ use synergy_cache::{CacheConfig, SetAssocCache};
 use synergy_dram::{
     AccessKind, DramConfig, EnergyBreakdown, MemorySystem, Request, RequestClass,
 };
+use synergy_faultsim::FaultSchedule;
 use synergy_obs::{MetricRegistry, Observe, Span, SpanPhase, SpanTracer};
 use synergy_secure::layout::Region;
 use synergy_secure::{DesignConfig, SecureEngine};
 use synergy_trace::{MultiCoreTrace, TraceRecord};
+
+use crate::analysis;
 
 /// Errors from system-simulation setup.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +59,29 @@ impl core::fmt::Display for SystemError {
 }
 
 impl std::error::Error for SystemError {}
+
+/// How a store that misses the LLC is modeled.
+///
+/// A real secure memory cannot merge a partial-line write blindly: the
+/// line must be fetched, decrypted and verified before new bytes are
+/// merged. The USIMM tradition (and the paper's posted-write evaluation)
+/// instead assumes stores overwrite whole lines, making the assumption
+/// explicit — and optional — is the point of this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreMissPolicy {
+    /// Write-allocate without a memory read: every store is assumed to
+    /// overwrite its full 64 B line, so nothing needs fetching or
+    /// verifying. Understates read traffic for partial-line writes but
+    /// keeps results comparable with the recorded healthy baselines.
+    #[default]
+    FullLineWrite,
+    /// Model the read-decrypt-verify-merge: a store miss first expands a
+    /// full secure read (data + metadata traffic, counted in the engine's
+    /// `data_reads`), then allocates the line dirty. The store still
+    /// retires immediately — the fetch is posted, costing bandwidth but
+    /// not commit latency.
+    FetchAndVerify,
+}
 
 /// Full system configuration (defaults = the paper's Table III).
 #[derive(Debug, Clone)]
@@ -92,6 +123,20 @@ pub struct SystemConfig {
     /// per-cycle ticking (`tests/sweep_determinism.rs` pins this); disable
     /// only to produce the reference run for that comparison.
     pub fast_forward: bool,
+    /// Runtime fault schedule: permanent chip failures injected at exact
+    /// memory-bus cycles (empty = healthy run). Injection points also cap
+    /// fast-forward jumps, so degraded runs stay bit-identical with the
+    /// fast path on or off.
+    pub fault_schedule: FaultSchedule,
+    /// Memory-bus cycles one MAC computation adds to a load's latency
+    /// when correction work sits on its critical path — today only the
+    /// one-time diagnosis burst after a chip failure is detected
+    /// ([`analysis::diagnosis_mac_computations`] recomputations, charged
+    /// serially). Table III's ~40 ns AES-GCM pipeline at the 800 MHz bus
+    /// ≈ 32 cycles per MAC.
+    pub mac_latency_mem_cycles: u64,
+    /// How store misses are modeled (see [`StoreMissPolicy`]).
+    pub store_miss: StoreMissPolicy,
 }
 
 /// Telemetry collection configuration.
@@ -130,6 +175,9 @@ impl SystemConfig {
             warmup_records_per_core: 0,
             telemetry: TelemetryConfig::default(),
             fast_forward: true,
+            fault_schedule: FaultSchedule::default(),
+            mac_latency_mem_cycles: 32,
+            store_miss: StoreMissPolicy::default(),
         }
     }
 }
@@ -185,6 +233,9 @@ pub struct SimResult {
     pub traffic: TrafficBreakdown,
     /// Secure-engine statistics (counter/tree cache behaviour).
     pub engine: synergy_secure::EngineStats,
+    /// Degraded-mode (failed-chip) lifecycle statistics; all zero on a
+    /// healthy run.
+    pub degraded: synergy_secure::DegradedStats,
     /// Metadata-cache statistics.
     pub metadata_cache: synergy_cache::CacheStats,
     /// LLC statistics over the measured phase.
@@ -468,6 +519,15 @@ fn publish_components(
     engine
         .metadata_cache_stats()
         .observe("secure.metadata_cache", registry);
+    engine.degraded_stats().observe("degraded", registry);
+    registry.set_gauge(
+        "degraded.active",
+        if engine.failed_chip().is_some() { 1.0 } else { 0.0 },
+    );
+    registry.set_counter(
+        "degraded.diagnosis_macs",
+        engine.degraded_stats().detections * u64::from(analysis::diagnosis_mac_computations()),
+    );
 }
 
 /// Runs one workload through the full system.
@@ -523,7 +583,22 @@ pub fn run(
         .saturating_mul(400)
         .saturating_add(10_000_000);
 
+    // Cursor into the (sorted) fault schedule: faults due at or before the
+    // current cycle apply before any instruction issues in it.
+    let mut next_fault = 0usize;
+
     while cores.iter().any(|c| !c.finished()) {
+        // 0. Scheduled faults manifest. A fast-forward jump never lands
+        // past an injection point (the wake computation caps on it), so
+        // this applies at the exact scheduled cycle either way.
+        while let Some(fault) = cfg.fault_schedule.faults().get(next_fault) {
+            if fault.at_mem_cycle > mem_cycle {
+                break;
+            }
+            engine.fail_chip(fault.chip);
+            next_fault += 1;
+        }
+
         // 1–2. DRAM advances; reads complete; deferred requests replay.
         mem.tick(&mut cores, mem_cycle);
 
@@ -603,6 +678,12 @@ pub fn run(
                         let next_boundary = (epochs_done + 1) * epoch;
                         target = target.min(next_boundary - 1);
                     }
+                    // Never jump over a scheduled fault-injection point:
+                    // the failure must manifest at its exact cycle for
+                    // fast-forwarded runs to stay bit-identical.
+                    if let Some(at) = cfg.fault_schedule.next_after(mem_cycle) {
+                        target = target.min(at);
+                    }
                     if target > mem_cycle {
                         skipped = target - mem_cycle;
                         ff_jumps += 1;
@@ -674,6 +755,7 @@ pub fn run(
         core_energy_j: cfg.core_power_w * seconds,
         traffic,
         engine: *engine.stats(),
+        degraded: *engine.degraded_stats(),
         metadata_cache: *engine.metadata_cache_stats(),
         llc: *llc.stats(),
         telemetry,
@@ -755,16 +837,29 @@ fn step_core(
 
         let addr = (rec.addr % cfg.data_capacity) & !63;
         if rec.is_write {
-            issue_store(addr, engine, llc, mem, mem_cycle);
+            issue_store(addr, cfg, engine, llc, mem, mem_cycle);
         } else {
             let pos = core.fetch_pos;
             if llc.read(addr) {
                 core.loads.push_back(OutstandingLoad { pos, remaining: 1 });
                 core.llc_hits.push((mem_cycle + cfg.llc_hit_latency, pos));
             } else {
-                let ids = issue_load_miss(addr, engine, llc, mem, mem_cycle);
-                core.loads
-                    .push_back(OutstandingLoad { pos, remaining: ids.len() as u32 });
+                let (ids, diagnosis) = issue_load_miss(addr, engine, llc, mem, mem_cycle);
+                let mut remaining = ids.len() as u32;
+                if diagnosis {
+                    // First detection of the failed chip: the trial-
+                    // reconstruction burst recomputes MACs serially before
+                    // the load's data is usable. Charged as an extra
+                    // scheduled completion (the same mechanism as LLC-hit
+                    // delivery, so the fast path's wake scan sees it).
+                    let delay = u64::from(analysis::diagnosis_mac_computations())
+                        * cfg.mac_latency_mem_cycles;
+                    if delay > 0 {
+                        remaining += 1;
+                        core.llc_hits.push((mem_cycle + delay, pos));
+                    }
+                }
+                core.loads.push_back(OutstandingLoad { pos, remaining });
                 for id in ids {
                     mem.load_map.insert(id, (core_idx, pos));
                 }
@@ -777,17 +872,20 @@ fn step_core(
 }
 
 /// Expands and issues a load miss; returns the request ids the load blocks
-/// on: the data read plus the counter-chain reads (the counter is needed
+/// on — the data read plus the counter-chain reads (the counter is needed
 /// for decryption, tree nodes for its verification — all fetched in
-/// parallel). MAC reads verify off the critical path (the paper's
-/// speculative-use assumption) and parity/writeback traffic is posted.
+/// parallel) — and whether this read performed the one-time failed-chip
+/// diagnosis burst (the caller charges its MAC latency). MAC reads verify
+/// off the critical path (the paper's speculative-use assumption);
+/// parity/writeback traffic is posted, and the degraded parity-line fetch
+/// follows the same rule (reconstruction pipelines with verification).
 fn issue_load_miss(
     addr: u64,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
     mem: &mut MemSide,
     cycle: u64,
-) -> Vec<u64> {
+) -> (Vec<u64>, bool) {
     let expansion = engine.expand_read(addr, llc);
     // In a MAC-tree (non-Bonsai) design like IVEC, the MAC chain *is* the
     // integrity mechanism: its fetches gate data use. Bonsai designs
@@ -815,20 +913,33 @@ fn issue_load_miss(
     // Fill the data line; handle displaced lines.
     fill_data_line(addr, false, engine, llc, mem, cycle);
     cascade_writebacks(expansion.evicted_dirty_data, engine, llc, mem, cycle);
-    blocking
+    (blocking, expansion.diagnosis)
 }
 
-/// A store: write-allocate into the LLC without fetch; dirty evictions
-/// become writebacks.
+/// A store: write-allocate into the LLC; dirty evictions become
+/// writebacks. Under [`StoreMissPolicy::FetchAndVerify`] a miss first
+/// expands a posted secure read of the line (read-decrypt-verify-merge);
+/// under the default full-line-write assumption it allocates with no
+/// fetch.
 fn issue_store(
     addr: u64,
+    cfg: &SystemConfig,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
     mem: &mut MemSide,
     cycle: u64,
 ) {
     if !llc.write(addr) {
-        fill_data_line(addr, true, engine, llc, mem, cycle);
+        if cfg.store_miss == StoreMissPolicy::FetchAndVerify {
+            let expansion = engine.expand_read(addr, llc);
+            for spec in &expansion.accesses {
+                mem.push_request(*spec, cycle);
+            }
+            fill_data_line(addr, true, engine, llc, mem, cycle);
+            cascade_writebacks(expansion.evicted_dirty_data, engine, llc, mem, cycle);
+        } else {
+            fill_data_line(addr, true, engine, llc, mem, cycle);
+        }
     }
 }
 
@@ -1087,6 +1198,96 @@ mod tests {
         let r2 = run(&cfg2, &mut trace2, 5_000).unwrap();
         assert_eq!(r2.telemetry.spans_completed, 0);
         assert!(!r2.telemetry.registry.is_empty());
+    }
+
+    #[test]
+    fn degraded_synergy_corrects_everything_and_slows_down() {
+        // A permanent chip failure early in the run: Synergy must complete
+        // with every degraded read corrected (no DUE), one diagnosis, new
+        // parity read traffic, and a measurable slowdown vs healthy.
+        let mk = |schedule: FaultSchedule| {
+            let mut cfg = SystemConfig::new(DesignConfig::synergy());
+            cfg.fault_schedule = schedule;
+            let mut s = spec(25.0, AccessPattern::Random { cluster: 4, hot_fraction: 0.0, hot_bytes: 0 });
+            s.footprint_bytes = 24 << 20;
+            let mut trace = MultiCoreTrace::rate_mode(&s, cfg.cores, 42);
+            run(&cfg, &mut trace, 30_000).unwrap()
+        };
+        let healthy = mk(FaultSchedule::default());
+        let degraded = mk(FaultSchedule::chip_failure_at(500, 3));
+
+        assert_eq!(healthy.degraded, synergy_secure::DegradedStats::default());
+        assert_eq!(healthy.traffic.reads(RequestClass::Parity), 0.0);
+
+        let d = &degraded.degraded;
+        assert_eq!(d.detections, 1, "exactly one diagnosis burst");
+        assert!(d.corrections > 0, "degraded reads must be corrected");
+        assert_eq!(d.due_events, 0, "Synergy never drops to DUE");
+        assert!(d.parity_reads > 0, "reconstruction reads parity lines");
+        assert!(degraded.traffic.reads(RequestClass::Parity) > 0.0);
+        assert!(
+            degraded.ipc < healthy.ipc,
+            "correction traffic must cost performance: degraded {} vs healthy {}",
+            degraded.ipc,
+            healthy.ipc
+        );
+        // Telemetry carries the lifecycle under the degraded.* prefix.
+        let reg = &degraded.telemetry.registry;
+        assert_eq!(reg.counter("degraded.corrections"), Some(d.corrections));
+        assert_eq!(reg.counter("degraded.detections"), Some(1));
+        assert_eq!(
+            reg.counter("degraded.diagnosis_macs"),
+            Some(u64::from(analysis::diagnosis_mac_computations()))
+        );
+    }
+
+    #[test]
+    fn degraded_secded_design_reports_due_without_extra_traffic() {
+        // SGX_O's SECDED cannot correct a dead chip: the run completes but
+        // every off-chip data read is a detected-uncorrectable error, with
+        // no correction traffic added (timing equals the healthy run).
+        let mk = |schedule: FaultSchedule| {
+            let mut cfg = SystemConfig::new(DesignConfig::sgx_o());
+            cfg.fault_schedule = schedule;
+            let s = spec(25.0, AccessPattern::Random { cluster: 4, hot_fraction: 0.6, hot_bytes: 2 << 20 });
+            let mut trace = MultiCoreTrace::rate_mode(&s, cfg.cores, 7);
+            run(&cfg, &mut trace, 20_000).unwrap()
+        };
+        let healthy = mk(FaultSchedule::default());
+        let degraded = mk(FaultSchedule::chip_failure_at(500, 0));
+        assert!(degraded.degraded.due_events > 0);
+        assert_eq!(degraded.degraded.corrections, 0);
+        assert_eq!(degraded.ipc.to_bits(), healthy.ipc.to_bits(), "DUE adds no traffic");
+    }
+
+    #[test]
+    fn store_miss_policy_controls_fetch_traffic() {
+        // Write-heavy workload: FetchAndVerify must generate strictly more
+        // data-read traffic (the read-decrypt-verify-merge fetch) than the
+        // default full-line-write assumption, which the healthy baselines
+        // rely on.
+        let mk = |policy: StoreMissPolicy| {
+            let mut cfg = SystemConfig::new(DesignConfig::synergy());
+            cfg.store_miss = policy;
+            let mut s = spec(25.0, AccessPattern::Random { cluster: 4, hot_fraction: 0.0, hot_bytes: 0 });
+            s.read_fraction = 0.3;
+            s.footprint_bytes = 24 << 20;
+            let mut trace = MultiCoreTrace::rate_mode(&s, cfg.cores, 13);
+            run(&cfg, &mut trace, 20_000).unwrap()
+        };
+        let posted = mk(StoreMissPolicy::FullLineWrite);
+        let verified = mk(StoreMissPolicy::FetchAndVerify);
+        assert!(
+            verified.traffic.reads(RequestClass::Data) > posted.traffic.reads(RequestClass::Data) * 1.5,
+            "fetch-and-verify data reads {} vs full-line-write {}",
+            verified.traffic.reads(RequestClass::Data),
+            posted.traffic.reads(RequestClass::Data)
+        );
+        // The fetch also drags the metadata chain along on a secure design.
+        assert!(
+            verified.traffic.reads(RequestClass::Counter)
+                > posted.traffic.reads(RequestClass::Counter)
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`policy`] — evaluation rules for SECDED (1 bit of 72), Chipkill
 //!   (1 chip of 18), SYNERGY (1 chip of 9) and IVEC (1 chip of 16).
 //! * [`sim`] — the parallel, conditioned-sampling Monte Carlo engine.
+//! * [`schedule`] — cycle-exact fault schedules consumed by the timing
+//!   simulator in `synergy-core` (the §IV-A degraded-mode lifecycle).
 //!
 //! # Example: a miniature Figure 11
 //!
@@ -31,10 +33,12 @@
 pub mod fault;
 pub mod model;
 pub mod policy;
+pub mod schedule;
 pub mod sim;
 
 pub use fault::{ChipGeometry, Fault, FaultMode, LineRegion};
 pub use model::{FaultModel, ModeRate};
+pub use schedule::{FaultSchedule, ScheduledFault};
 pub use policy::EccPolicy;
 pub use sim::{
     simulate, simulate_all, ReliabilityResult, SimParams, HOURS_PER_YEAR, SHARD_DEVICES,

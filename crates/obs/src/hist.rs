@@ -247,7 +247,7 @@ mod tests {
         for v in [0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
             let (lo, hi) = bucket_bounds(bucket_index(v));
             assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}]");
-            assert!(hi - lo <= (lo / 64).max(0) + 1, "bucket too wide at {v}");
+            assert!(hi - lo <= lo / 64 + 1, "bucket too wide at {v}");
         }
     }
 

@@ -43,6 +43,25 @@ pub enum ReliabilityScheme {
     None,
 }
 
+/// How a design responds, at run time, to a permanently failed chip —
+/// the §IV-A degraded-mode lifecycle as seen by the timing simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipFailureResponse {
+    /// The MAC identifies the bad chip and RAID-3 parity reconstructs its
+    /// contribution: every degraded data read additionally needs the
+    /// line's parity slot (a cacheable parity-line fetch), plus a one-time
+    /// trial-reconstruction diagnosis burst on first detection (§III-B).
+    ParityReconstruct,
+    /// The symbol code corrects the dead chip within the normal access —
+    /// no extra traffic (Chipkill lock-step; Synergy+16B, whose co-located
+    /// 16 B metadata field carries the parity in the same burst).
+    InlineCorrect,
+    /// The reliability scheme cannot correct a whole dead chip: every read
+    /// of a line touching it is a detected-uncorrectable error (SECDED and
+    /// unprotected DIMMs).
+    Uncorrectable,
+}
+
 /// A complete secure-memory design configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignConfig {
@@ -225,6 +244,24 @@ impl DesignConfig {
     pub fn dual_channel_lockstep(&self) -> bool {
         matches!(self.reliability, ReliabilityScheme::Chipkill)
     }
+
+    /// How this design keeps running (or fails to) once a chip dies.
+    pub fn chip_failure_response(&self) -> ChipFailureResponse {
+        if self.custom_dimm_colocated_parity {
+            // §VI-B custom DIMM: parity rides in the per-line metadata
+            // field, so reconstruction needs no separate access.
+            return ChipFailureResponse::InlineCorrect;
+        }
+        match self.reliability {
+            ReliabilityScheme::MacParity | ReliabilityScheme::LotEcc { .. } => {
+                ChipFailureResponse::ParityReconstruct
+            }
+            ReliabilityScheme::Chipkill => ChipFailureResponse::InlineCorrect,
+            ReliabilityScheme::Secded | ReliabilityScheme::None => {
+                ChipFailureResponse::Uncorrectable
+            }
+        }
+    }
 }
 
 impl core::fmt::Display for DesignConfig {
@@ -288,6 +325,18 @@ mod tests {
     fn chipkill_locks_channels() {
         assert!(DesignConfig::sgx_o_chipkill().dual_channel_lockstep());
         assert!(!DesignConfig::synergy().dual_channel_lockstep());
+    }
+
+    #[test]
+    fn chip_failure_responses_follow_reliability() {
+        use ChipFailureResponse::*;
+        assert_eq!(DesignConfig::synergy().chip_failure_response(), ParityReconstruct);
+        assert_eq!(DesignConfig::ivec().chip_failure_response(), ParityReconstruct);
+        assert_eq!(DesignConfig::lot_ecc(true).chip_failure_response(), ParityReconstruct);
+        assert_eq!(DesignConfig::sgx_o_chipkill().chip_failure_response(), InlineCorrect);
+        assert_eq!(DesignConfig::synergy_custom_dimm().chip_failure_response(), InlineCorrect);
+        assert_eq!(DesignConfig::sgx_o().chip_failure_response(), Uncorrectable);
+        assert_eq!(DesignConfig::non_secure().chip_failure_response(), Uncorrectable);
     }
 
     #[test]

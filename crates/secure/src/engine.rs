@@ -24,7 +24,7 @@
 use synergy_cache::{CacheConfig, CacheStats, SetAssocCache};
 use synergy_dram::{AccessKind, RequestClass};
 
-use crate::design::{DesignConfig, MacPlacement};
+use crate::design::{ChipFailureResponse, DesignConfig, MacPlacement};
 use crate::layout::{MetadataLayout, Region, TreeLeaves};
 
 /// One DRAM access produced by expansion.
@@ -46,6 +46,11 @@ pub struct Expansion {
     /// Dirty *data* lines displaced from the LLC by metadata fills; the
     /// caller must expand each as a data writeback (cascade).
     pub evicted_dirty_data: Vec<u64>,
+    /// True when this read performed the one-time failed-chip diagnosis
+    /// burst (§III-B trial reconstruction, first detection after
+    /// [`SecureEngine::fail_chip`]): the system layer charges the burst's
+    /// MAC-recomputation latency to this load.
+    pub diagnosis: bool,
 }
 
 impl Expansion {
@@ -108,6 +113,34 @@ impl synergy_obs::Observe for EngineStats {
     }
 }
 
+/// Statistics of the degraded-mode (failed-chip) lifecycle of §IV-A.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedStats {
+    /// First-detection events — each paid the one-time trial-
+    /// reconstruction diagnosis burst (§III-B).
+    pub detections: u64,
+    /// Degraded data reads the reliability scheme corrected.
+    pub corrections: u64,
+    /// Extra parity-line DRAM reads issued for reconstruction.
+    pub parity_reads: u64,
+    /// Parity-line lookups served by a cache (no DRAM access).
+    pub parity_hits: u64,
+    /// Degraded data reads the scheme could *not* correct (detected
+    /// uncorrectable errors — SECDED under a whole-chip failure).
+    pub due_events: u64,
+}
+
+impl synergy_obs::Observe for DegradedStats {
+    fn observe(&self, prefix: &str, registry: &mut synergy_obs::MetricRegistry) {
+        use synergy_obs::metric_name;
+        registry.set_counter(&metric_name(prefix, "detections"), self.detections);
+        registry.set_counter(&metric_name(prefix, "corrections"), self.corrections);
+        registry.set_counter(&metric_name(prefix, "parity_reads"), self.parity_reads);
+        registry.set_counter(&metric_name(prefix, "parity_hits"), self.parity_hits);
+        registry.set_counter(&metric_name(prefix, "due_events"), self.due_events);
+    }
+}
+
 /// The per-design access-expansion engine.
 #[derive(Debug, Clone)]
 pub struct SecureEngine {
@@ -116,6 +149,11 @@ pub struct SecureEngine {
     metadata_cache: SetAssocCache,
     parity_accumulator: f64,
     stats: EngineStats,
+    /// Permanently failed chip of the 9-chip correction domain, if any.
+    failed_chip: Option<usize>,
+    /// Whether the failed chip has been diagnosed (tracked fast path).
+    diagnosed: bool,
+    degraded: DegradedStats,
 }
 
 /// Default metadata-cache geometry: 128 KB, 8-way, 64 B lines (Table III).
@@ -142,7 +180,39 @@ impl SecureEngine {
             metadata_cache: SetAssocCache::new(metadata_cache),
             parity_accumulator: 0.0,
             stats: EngineStats::default(),
+            failed_chip: None,
+            diagnosed: false,
+            degraded: DegradedStats::default(),
         }
+    }
+
+    /// Injects a permanent whole-chip failure: from now on every off-chip
+    /// data read carries the correction cost of the design's
+    /// [`ChipFailureResponse`]. For parity-based designs the first
+    /// corrected read performs the one-time diagnosis burst
+    /// ([`Expansion::diagnosis`]); once the chip is tracked (§IV-A),
+    /// corrections collapse to the error-free MAC count and only the
+    /// parity-line fetch remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is outside the 9-chip correction domain.
+    pub fn fail_chip(&mut self, chip: usize) {
+        assert!(chip < 9, "chip {chip} outside the 9-chip correction domain");
+        if self.failed_chip != Some(chip) {
+            self.failed_chip = Some(chip);
+            self.diagnosed = false;
+        }
+    }
+
+    /// The currently failed chip, if a fault has been injected.
+    pub fn failed_chip(&self) -> Option<usize> {
+        self.failed_chip
+    }
+
+    /// Degraded-mode lifecycle statistics.
+    pub fn degraded_stats(&self) -> &DegradedStats {
+        &self.degraded
     }
 
     /// The design being modeled.
@@ -165,25 +235,72 @@ impl SecureEngine {
         self.metadata_cache.stats()
     }
 
+    /// Drains the dedicated metadata cache's dirty lines (clearing their
+    /// dirty bits) and returns their addresses — the writebacks an
+    /// end-of-run flush would issue. Together with the LLC's
+    /// `drain_dirty`, this accounts for every increment that has not yet
+    /// reached DRAM, which is what the counter-conservation property test
+    /// audits.
+    pub fn drain_dirty_metadata(&mut self) -> Vec<u64> {
+        self.metadata_cache.drain_dirty()
+    }
+
     /// Expands an off-chip data *read* (LLC miss) into DRAM accesses.
     pub fn expand_read(&mut self, data_addr: u64, llc: &mut SetAssocCache) -> Expansion {
         self.stats.data_reads += 1;
         let mut out = Expansion::default();
         out.read(data_addr, RequestClass::Data);
-        if !self.design.secure {
-            return out;
+        if self.design.secure {
+            self.mac_on_read(data_addr, llc, &mut out);
+
+            let ctr_addr = self.layout.counter_line_addr(data_addr);
+            let ctr_hit = self.fetch_counter_line(ctr_addr, llc, false, &mut out);
+            // Bonsai designs verify counters up the counter tree. IVEC's
+            // tree covers MAC lines instead — its walk is in `mac_on_read`.
+            if !ctr_hit && self.design.tree_leaves == TreeLeaves::CounterLines {
+                self.walk_tree(ctr_addr, llc, &mut out);
+            }
         }
-
-        self.mac_on_read(data_addr, llc, &mut out);
-
-        let ctr_addr = self.layout.counter_line_addr(data_addr);
-        let ctr_hit = self.fetch_counter_line(ctr_addr, llc, false, &mut out);
-        // Bonsai designs verify counters up the counter tree. IVEC's tree
-        // covers MAC lines instead — its walk happens in `mac_on_read`.
-        if !ctr_hit && self.design.tree_leaves == TreeLeaves::CounterLines {
-            self.walk_tree(ctr_addr, llc, &mut out);
+        if self.failed_chip.is_some() {
+            self.degraded_read(data_addr, llc, &mut out);
         }
         out
+    }
+
+    /// The §IV-A degraded-mode read flow. A data line stripes across all
+    /// nine chips, so with a failed chip *every* off-chip data read must
+    /// reconstruct that chip's contribution before the line is usable.
+    /// Metadata lines correct in-line against the ECC chip's ParityC slot
+    /// (§III-B) and add no traffic, so only the data read pays here.
+    fn degraded_read(&mut self, data_addr: u64, llc: &mut SetAssocCache, out: &mut Expansion) {
+        match self.design.chip_failure_response() {
+            ChipFailureResponse::Uncorrectable => self.degraded.due_events += 1,
+            ChipFailureResponse::InlineCorrect => self.degraded.corrections += 1,
+            ChipFailureResponse::ParityReconstruct => {
+                // RAID-3 reconstruction needs the line's parity slot. One
+                // parity line covers eight data lines, and while a chip is
+                // failed the engine caches parity like other metadata
+                // (dedicated + LLC per the design's caching columns), so
+                // the recurring overhead amortizes across neighbours.
+                let p_addr = self.layout.parity_line_addr(data_addr);
+                let hit = self.fetch_metadata_line(p_addr, RequestClass::Parity, llc, false, out);
+                if hit == MetaHit::Memory {
+                    self.degraded.parity_reads += 1;
+                } else {
+                    self.degraded.parity_hits += 1;
+                }
+                self.degraded.corrections += 1;
+                if !self.diagnosed {
+                    // First detection: trial reconstruction tries chip
+                    // candidates until the MAC verifies (≤9 MAC
+                    // recomputations, §III-B). Afterwards the chip is
+                    // tracked and corrections cost no extra MAC work.
+                    self.diagnosed = true;
+                    self.degraded.detections += 1;
+                    out.diagnosis = true;
+                }
+            }
+        }
     }
 
     /// Expands an off-chip data *writeback* (dirty LLC eviction).
@@ -280,6 +397,13 @@ impl SecureEngine {
                 // IVEC's tree nodes are MAC material: LLC only.
                 TreeLeaves::MacLines => (false, true),
             },
+            // Parity lines are write-only while healthy (posted updates,
+            // never re-read), so caching them would only waste capacity.
+            // Under a failed chip every data read re-reads its parity
+            // slot for reconstruction — then they cache like counters.
+            Region::Parity if self.failed_chip.is_some() => {
+                (true, self.design.counters_in_llc)
+            }
             _ => (false, false),
         }
     }
@@ -317,17 +441,29 @@ impl SecureEngine {
 
     /// Lazy dirty propagation on writes: mark tree nodes dirty up the path
     /// until one was already cached (it absorbs the update).
+    ///
+    /// A node may live in either cache — on a counter hit `walk_tree` never
+    /// ran, so the path can be LLC-resident only (`counters_in_llc`
+    /// designs) or not resident at all. The walk dirties the node wherever
+    /// it is held (dedicated first, falling through to the LLC); a node
+    /// held nowhere is write-allocated dirty *without a fetch* — its new
+    /// value derives from the modified child, not from DRAM — and
+    /// propagation continues to its parent.
     fn dirty_walk(&mut self, leaf_addr: u64, llc: &mut SetAssocCache, out: &mut Expansion) {
-        let _ = out;
-        let _ = llc;
         for node in self.layout.tree_path(leaf_addr) {
-            // Nodes on this path are resident: walk_tree just fetched any
-            // missing ones. Dirty the level-0 node; if it was already dirty
-            // the update is absorbed and propagation stops.
-            let was_present = self.metadata_cache.contains(node);
-            self.metadata_cache.write(node);
-            if was_present {
+            let (use_dedicated, use_llc) = self.caching_policy(self.layout.classify(node));
+            if use_dedicated && self.metadata_cache.contains(node) {
+                self.metadata_cache.write(node);
                 break;
+            }
+            if use_llc && llc.contains(node) {
+                llc.write(node);
+                break;
+            }
+            if use_dedicated {
+                self.dedicated_fill(node, true, llc, out);
+            } else if use_llc {
+                self.llc_fill(node, true, llc, out);
             }
         }
     }
@@ -351,22 +487,31 @@ impl SecureEngine {
             }
         }
         if use_llc {
-            let hit = if dirty { llc.write(addr) } else { llc.read(addr) };
+            // When the line is promoted into the dedicated cache the LLC
+            // lookup is a plain probe — dirtying the outer copy too would
+            // create two dirty owners and, eventually, two writebacks for
+            // one logical dirty episode.
+            let hit = if dirty && !use_dedicated { llc.write(addr) } else { llc.read(addr) };
             if hit {
                 if use_dedicated {
-                    self.dedicated_fill(addr, dirty, llc, out);
+                    // Promote inward, claiming any pending writeback
+                    // obligation from the outer copy so dirtiness always
+                    // has exactly one owner (the innermost cache).
+                    let claimed = llc.take_dirty(addr);
+                    self.dedicated_fill(addr, dirty || claimed, llc, out);
                 }
                 return MetaHit::Llc;
             }
         }
 
-        // DRAM fetch.
+        // DRAM fetch. The dirty bit lands in the innermost cache holding
+        // the line; any LLC shadow copy is filled clean.
         out.read(addr, class);
         if use_dedicated {
             self.dedicated_fill(addr, dirty, llc, out);
         }
         if use_llc {
-            self.llc_fill(addr, false, llc, out);
+            self.llc_fill(addr, dirty && !use_dedicated, llc, out);
         }
         MetaHit::Memory
     }
@@ -409,12 +554,19 @@ impl SecureEngine {
     /// The traffic class of an address, by metadata region — used by the
     /// system simulator to classify LLC writebacks.
     pub fn class_of(&self, addr: u64) -> RequestClass {
-        match self.layout.classify(addr) {
+        let region = self.layout.classify(addr);
+        debug_assert!(
+            region != Region::OutOfRange,
+            "address {addr:#x} lies beyond the metadata layout — a layout or \
+             address-generation bug, not a classifiable access"
+        );
+        match region {
             Region::Data => RequestClass::Data,
             Region::Counter => RequestClass::Counter,
             Region::Mac => RequestClass::Mac,
             Region::Parity => RequestClass::Parity,
             Region::Tree(_) => RequestClass::TreeNode,
+            // Release builds degrade gracefully: account it as data.
             Region::OutOfRange => RequestClass::Data,
         }
     }
@@ -602,6 +754,106 @@ mod tests {
             e_split.stats().counter_misses,
             e_mono.stats().counter_misses
         );
+    }
+
+    #[test]
+    fn dirty_walk_dirties_llc_resident_tree_nodes() {
+        // The lost-dirty-propagation pin: with a tiny dedicated cache the
+        // integrity-tree path survives only in the LLC (SGX_O caches tree
+        // nodes there). A writeback whose counter hits the LLC must still
+        // dirty the level-0 tree node — in the LLC, since the dedicated
+        // cache no longer holds it. The old code wrote only the dedicated
+        // cache (a silent no-op on miss), so no tree writeback ever
+        // surfaced from this path and tree write traffic was undercounted.
+        let tiny = CacheConfig::new(128, 1, 64).unwrap(); // 2 lines
+        let mut e = SecureEngine::with_metadata_cache(DesignConfig::sgx_o(), DATA, tiny);
+        let mut llc = llc();
+        let addr = 0x4000;
+        let _ = e.expand_read(addr, &mut llc); // path now in dedicated + LLC
+        // Thrash the dedicated cache with distant counter lines.
+        for i in 0..64u64 {
+            let _ = e.expand_read((1 << 20) + i * 64 * 8, &mut llc);
+        }
+        let ctr = e.layout().counter_line_addr(addr);
+        let l0 = e.layout().tree_path(ctr)[0];
+        assert!(!e.metadata_cache.contains(l0), "setup: node thrashed out of dedicated");
+        assert!(llc.contains(l0), "setup: node still LLC-resident");
+
+        let misses_before = e.metadata_cache.stats().write_misses;
+        let _ = e.expand_writeback(addr, &mut llc);
+        let tree_dirty = llc
+            .drain_dirty()
+            .into_iter()
+            .filter(|&a| matches!(e.layout().classify(a), Region::Tree(_)))
+            .count();
+        assert!(tree_dirty >= 1, "tree node must be dirtied in the LLC");
+        assert_eq!(
+            e.metadata_cache.stats().write_misses,
+            misses_before + 1,
+            "only the counter lookup may count a write miss — the tree walk \
+             probes with contains() and must not pollute miss stats"
+        );
+    }
+
+    #[test]
+    fn degraded_synergy_read_pays_parity_then_tracks() {
+        let mut e = SecureEngine::new(DesignConfig::synergy(), DATA);
+        let mut llc = llc();
+        let healthy = e.expand_read(0x4000, &mut llc);
+        assert_eq!(count(&healthy, RequestClass::Parity, AccessKind::Read), 0);
+
+        e.fail_chip(3);
+        assert_eq!(e.failed_chip(), Some(3));
+        let first = e.expand_read(0x8000, &mut llc);
+        assert_eq!(count(&first, RequestClass::Parity, AccessKind::Read), 1);
+        assert!(first.diagnosis, "first corrected read runs the diagnosis burst");
+        let again = e.expand_read(0x8000, &mut llc);
+        assert_eq!(
+            count(&again, RequestClass::Parity, AccessKind::Read),
+            0,
+            "parity line now cached"
+        );
+        assert!(!again.diagnosis, "tracked fast path after diagnosis");
+        let d = e.degraded_stats();
+        assert_eq!(d.detections, 1);
+        assert_eq!(d.corrections, 2);
+        assert_eq!(d.parity_reads, 1);
+        assert_eq!(d.parity_hits, 1);
+        assert_eq!(d.due_events, 0);
+    }
+
+    #[test]
+    fn degraded_secded_design_counts_uncorrectable_errors() {
+        let mut e = SecureEngine::new(DesignConfig::sgx_o(), DATA);
+        let mut llc = llc();
+        e.fail_chip(0);
+        let out = e.expand_read(0x4000, &mut llc);
+        assert_eq!(count(&out, RequestClass::Parity, AccessKind::Read), 0);
+        assert!(!out.diagnosis);
+        assert_eq!(e.degraded_stats().due_events, 1);
+        assert_eq!(e.degraded_stats().corrections, 0);
+    }
+
+    #[test]
+    fn degraded_inline_correct_designs_add_no_traffic() {
+        for design in [DesignConfig::synergy_custom_dimm(), DesignConfig::sgx_o_chipkill()] {
+            let mut healthy = SecureEngine::new(design.clone(), DATA);
+            let mut failed = SecureEngine::new(design, DATA);
+            let mut llc_a = llc();
+            let mut llc_b = llc();
+            failed.fail_chip(8);
+            let a = healthy.expand_read(0x4000, &mut llc_a);
+            let b = failed.expand_read(0x4000, &mut llc_b);
+            assert_eq!(a.accesses, b.accesses, "in-line correction is traffic-free");
+            assert_eq!(failed.degraded_stats().corrections, 1);
+            assert_eq!(failed.degraded_stats().parity_reads, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "correction domain")]
+    fn fail_chip_rejects_out_of_domain() {
+        SecureEngine::new(DesignConfig::synergy(), DATA).fail_chip(9);
     }
 
     #[test]

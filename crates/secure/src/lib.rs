@@ -32,6 +32,6 @@ pub mod design;
 pub mod engine;
 pub mod layout;
 
-pub use design::{DesignConfig, MacPlacement, ReliabilityScheme};
-pub use engine::{AccessSpec, EngineStats, Expansion, SecureEngine};
+pub use design::{ChipFailureResponse, DesignConfig, MacPlacement, ReliabilityScheme};
+pub use engine::{AccessSpec, DegradedStats, EngineStats, Expansion, SecureEngine};
 pub use layout::{CounterOrg, MetadataLayout, Region, TreeLeaves};

@@ -105,6 +105,117 @@ proptest! {
         }
     }
 
+    /// Region boundaries round-trip through `classify` exactly: each
+    /// region's base and last line classify as that region, the line just
+    /// below each base classifies as the preceding region, and the first
+    /// line past the layout is `OutOfRange` — the address the engine's
+    /// `class_of` debug-assertion exists to catch.
+    #[test]
+    fn region_boundaries_round_trip(layout in layout_strategy()) {
+        let mac_base = layout.counter_base() + layout.counter_lines() * LINE;
+
+        prop_assert_eq!(layout.classify(0), Region::Data);
+        prop_assert_eq!(layout.classify(layout.data_bytes() - LINE), Region::Data);
+        prop_assert_eq!(layout.counter_base(), layout.data_bytes());
+        prop_assert_eq!(layout.classify(layout.counter_base()), Region::Counter);
+        prop_assert_eq!(layout.classify(mac_base - LINE), Region::Counter);
+        prop_assert_eq!(layout.classify(mac_base), Region::Mac);
+        prop_assert_eq!(layout.classify(layout.parity_base() - LINE), Region::Mac);
+        prop_assert_eq!(layout.classify(layout.parity_base()), Region::Parity);
+
+        let mut prev_end = None;
+        for level in 0..layout.tree_depth() {
+            let base = layout.tree_level_base(level);
+            let nodes = layout.tree_level_nodes(level);
+            prop_assert_eq!(layout.classify(base), Region::Tree(level));
+            prop_assert_eq!(layout.classify(base + (nodes - 1) * LINE), Region::Tree(level));
+            prop_assert_eq!(
+                layout.classify(base - LINE),
+                if level == 0 { Region::Parity } else { Region::Tree(level - 1) },
+                "tree levels must be contiguous after parity"
+            );
+            prev_end = Some(base + nodes * LINE);
+        }
+        if let Some(end) = prev_end {
+            prop_assert_eq!(end, layout.total_bytes());
+        }
+        prop_assert_eq!(layout.classify(layout.total_bytes()), Region::OutOfRange);
+        prop_assert_eq!(layout.classify(layout.total_bytes() + LINE), Region::OutOfRange);
+    }
+
+    /// Counter-writeback conservation: every counter-line increment is
+    /// written back to DRAM exactly once — never lost in a cache, never
+    /// duplicated across the dedicated cache and the LLC. Deliberately
+    /// tiny caches force constant evictions and dual residency, covering
+    /// the clean-fill + dirty-increment miss path and the
+    /// dedicated-promotion-of-a-dirty-LLC-line path.
+    #[test]
+    fn counter_writebacks_conserve_increments(
+        ops in proptest::collection::vec((0u64..(1 << 22), any::<bool>()), 1..120),
+    ) {
+        let presets = [
+            DesignConfig::sgx(),
+            DesignConfig::sgx_o(),
+            DesignConfig::synergy(),
+            DesignConfig::ivec(),
+            DesignConfig::lot_ecc(true),
+        ];
+        for design in presets {
+            let name = design.name;
+            let mut llc = SetAssocCache::new(CacheConfig::new(8 << 10, 2, 64).unwrap());
+            let mut engine = SecureEngine::with_metadata_cache(
+                design,
+                1 << 26,
+                CacheConfig::new(1 << 10, 2, 64).unwrap(),
+            );
+            // Logically-dirty counter lines: incremented but not yet in DRAM.
+            let mut dirty = std::collections::HashSet::new();
+            for &(addr, is_write) in &ops {
+                let addr = addr & !63;
+                let exp = if is_write {
+                    let ctr = engine.layout().counter_line_addr(addr);
+                    let exp = engine.expand_writeback(addr, &mut llc);
+                    dirty.insert(ctr);
+                    exp
+                } else {
+                    engine.expand_read(addr, &mut llc)
+                };
+                for a in &exp.accesses {
+                    if a.class == RequestClass::Counter && a.kind == AccessKind::Write {
+                        prop_assert!(
+                            dirty.remove(&a.addr),
+                            "{}: counter line {:#x} written back while logically \
+                             clean — a lost or duplicated increment",
+                            name,
+                            a.addr
+                        );
+                    }
+                }
+            }
+            // Flush: whatever is still dirty in either cache must be
+            // exactly the remaining logically-dirty set.
+            let mut resident = engine.drain_dirty_metadata();
+            resident.extend(llc.drain_dirty());
+            for addr in resident {
+                if engine.layout().classify(addr) == Region::Counter {
+                    prop_assert!(
+                        dirty.remove(&addr),
+                        "{}: cache holds dirty counter {:#x} that was never incremented \
+                         (or was already written back)",
+                        name,
+                        addr
+                    );
+                }
+            }
+            prop_assert!(
+                dirty.is_empty(),
+                "{}: increments lost — dirty bits stranded for {:x?}",
+                name,
+                dirty
+            );
+        }
+    }
+
     /// Warm counter lines stop generating counter traffic: expanding the
     /// same read twice in a row, the second expansion is data-only for
     /// Synergy.

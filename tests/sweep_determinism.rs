@@ -18,6 +18,7 @@
 use synergy_bench::{parallel_map, trace_seed};
 use synergy_core::system::{run, SimResult, SystemConfig};
 use synergy_dram::DramConfig;
+use synergy_faultsim::FaultSchedule;
 use synergy_secure::DesignConfig;
 use synergy_trace::{presets, MultiCoreTrace};
 
@@ -28,11 +29,22 @@ const INSTS: u64 = 20_000;
 const WARMUP: u64 = 4_000;
 
 fn run_cell(design: DesignConfig, workload: &str, channels: usize, fast_forward: bool) -> SimResult {
+    run_cell_with_faults(design, workload, channels, fast_forward, FaultSchedule::default())
+}
+
+fn run_cell_with_faults(
+    design: DesignConfig,
+    workload: &str,
+    channels: usize,
+    fast_forward: bool,
+    faults: FaultSchedule,
+) -> SimResult {
     let w = presets::by_name(workload).expect("workload preset exists");
     let mut cfg = SystemConfig::new(design);
     cfg.dram = DramConfig::with_channels(channels);
     cfg.warmup_records_per_core = WARMUP;
     cfg.fast_forward = fast_forward;
+    cfg.fault_schedule = faults;
     // The same seed derivation the bench harness uses: cell parameters
     // only, never the design (see `synergy_bench::trace_seed`).
     let mut trace = MultiCoreTrace::rate_mode(&w, cfg.cores, trace_seed(channels));
@@ -54,6 +66,7 @@ fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
     assert_eq!(a.engine, b.engine, "{what}: engine stats");
     assert_eq!(a.metadata_cache, b.metadata_cache, "{what}: metadata cache");
     assert_eq!(a.llc, b.llc, "{what}: llc");
+    assert_eq!(a.degraded, b.degraded, "{what}: degraded-mode stats");
     assert_eq!(a.telemetry.spans_completed, b.telemetry.spans_completed, "{what}: spans");
     assert_eq!(a.telemetry.spans_dropped, b.telemetry.spans_dropped, "{what}: dropped spans");
 }
@@ -103,6 +116,34 @@ fn fast_forward_matches_per_cycle_reference() {
         assert!(jumps > 0, "{what}: fast path never engaged");
         let ref_jumps = reference.telemetry.registry.counter("sim.ff_jumps").unwrap_or(0);
         assert_eq!(ref_jumps, 0, "{what}: reference run must not fast-forward");
+    }
+}
+
+#[test]
+fn degraded_runs_are_deterministic() {
+    // A scheduled chip failure mid-run must not disturb either perf-opt
+    // layer: the fast path caps its jumps at the next fault cycle, and the
+    // sweep runner sees a pure function of the cell. Three-way pin:
+    // per-cycle reference == fast-forward == fast-forward under the
+    // 8-thread runner, including the new `degraded` stats.
+    let faults = || FaultSchedule::chip_failure_at(3_000, 3);
+    for (design, workload) in
+        [(DesignConfig::synergy(), "mcf"), (DesignConfig::sgx_o(), "pr-web")]
+    {
+        let what = format!("degraded {} on {workload}", design.name);
+        let reference = run_cell_with_faults(design.clone(), workload, 2, false, faults());
+        let fast = run_cell_with_faults(design.clone(), workload, 2, true, faults());
+        assert_identical(&reference, &fast, &what);
+        // Not vacuous: the failure must actually have been injected and,
+        // on the parity design, corrected.
+        assert!(
+            reference.degraded.detections + reference.degraded.due_events > 0,
+            "{what}: fault never took effect"
+        );
+        let threaded = parallel_map(std::slice::from_ref(&design), 8, |_, d| {
+            run_cell_with_faults(d.clone(), workload, 2, true, faults())
+        });
+        assert_identical(&fast, &threaded[0], &format!("{what} (threaded)"));
     }
 }
 
