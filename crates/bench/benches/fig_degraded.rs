@@ -22,7 +22,7 @@
 
 use synergy_bench::*;
 use synergy_faultsim::FaultSchedule;
-use synergy_secure::DesignConfig;
+use synergy_secure::{CryptoWorkMode, DesignConfig};
 
 /// The failed chip: a data chip (not the ECC chip), the common case.
 const FAILED_CHIP: usize = 3;
@@ -123,5 +123,54 @@ fn main() {
         &csv,
     );
     metrics.add_registry("sweep", &report.registry(), &[]);
+    crypto_work_comparison(&workloads, fail_cycle, &mut metrics);
     metrics.write("fig_degraded");
+}
+
+/// End-to-end host-throughput cost of the crypto work model: one MAC-heavy
+/// degraded Synergy run per [`CryptoWorkMode`], identical simulated results
+/// (asserted), differing only in `sim.cycles_per_sec`. Folded into the
+/// metrics snapshot under `crypto_work_*` keys; the main `fig_degraded.csv`
+/// is untouched.
+fn crypto_work_comparison(
+    workloads: &[synergy_trace::WorkloadSpec],
+    fail_cycle: u64,
+    metrics: &mut MetricsSnapshot,
+) {
+    let w = &workloads[0];
+    let faults = FaultSchedule::chip_failure_at(fail_cycle, FAILED_CHIP);
+    println!(
+        "\ncrypto work model — host wall-clock on a degraded synergy/{} run \
+         (simulated results identical by construction):",
+        w.name
+    );
+    let mut rows = Vec::new();
+    let mut baseline: Option<synergy_core::system::SimResult> = None;
+    for (mode, name) in [
+        (CryptoWorkMode::Off, "off"),
+        (CryptoWorkMode::PerLine, "per-line"),
+        (CryptoWorkMode::Batched, "batched"),
+    ] {
+        let r = run_workload_custom(DesignConfig::synergy(), w, 2, faults.clone(), |cfg| {
+            cfg.crypto_work = mode;
+        });
+        if let Some(base) = &baseline {
+            assert_eq!(r.ipc, base.ipc, "crypto work must not change simulated IPC");
+            assert_eq!(r.mem_cycles, base.mem_cycles, "crypto work must not change timing");
+        }
+        let cps = r.telemetry.registry.gauge("sim.cycles_per_sec").unwrap_or(0.0);
+        let verifies = r.telemetry.registry.counter("crypto.verifies").unwrap_or(0);
+        let pads = r.telemetry.registry.counter("crypto.pads").unwrap_or(0);
+        rows.push(vec![
+            name.to_string(),
+            format!("{cps:.0}"),
+            verifies.to_string(),
+            pads.to_string(),
+        ]);
+        metrics.add_registry(&format!("crypto_work_{name}"), &r.telemetry.registry, &[]);
+        if baseline.is_none() {
+            baseline = Some(r);
+        }
+    }
+    print_table(&["crypto_work", "sim cycles/s", "verifies", "pads"], &rows);
 }

@@ -132,6 +132,13 @@ impl SweepReport {
         let mut reg = MetricRegistry::new();
         reg.set_gauge("sweep.wall_seconds", self.wall_seconds);
         reg.set_counter("sweep.threads", self.threads as u64);
+        // Recorded so exported artifacts are honest about the host: a
+        // 1-core machine cannot demonstrate parallel speedup no matter
+        // how many worker threads the sweep spawned.
+        reg.set_counter(
+            "sweep.host_cpus",
+            thread::available_parallelism().map_or(0, |n| n.get() as u64),
+        );
         reg.set_counter("sweep.cells", self.results.len() as u64);
         let total_cycles: u64 = self.results.iter().map(|r| r.mem_cycles).sum();
         reg.set_counter("sweep.mem_cycles", total_cycles);
@@ -244,6 +251,14 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn report_registry_records_host_cpus() {
+        let report = SweepReport { results: Vec::new(), wall_seconds: 0.0, threads: 1 };
+        let reg = report.registry();
+        // available_parallelism never reports 0 on a host that runs tests.
+        assert!(reg.counter("sweep.host_cpus").unwrap() >= 1);
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! inverse set drives the FIPS-197 *equivalent inverse cipher* for
 //! decryption). The tables are key-independent, built once at first use.
 //!
+//! On x86-64 hosts with AES-NI, each instance instead dispatches through
+//! [`crate::Backend::Simd`] to the hardware round functions in
+//! `crate::simd` — the key schedule then comes from
+//! `_mm_aeskeygenassist_si128` (pinned byte-identical to the software
+//! schedule by test) and [`Aes128::encrypt_blocks`] pipelines independent
+//! blocks through `_mm_aesenc_si128` together. Decryption is not on any
+//! hot path (counter mode only ever encrypts) and always uses the table
+//! path.
+//!
 //! The straightforward per-byte round implementation is retained as
 //! [`Aes128::encrypt_block_reference`] / [`Aes128::decrypt_block_reference`]
 //! and serves as the oracle for the table path in the equivalence test
@@ -20,6 +29,8 @@
 //! engine would be constant-time by construction).
 
 use std::sync::OnceLock;
+
+use crate::backend::Backend;
 
 /// The AES S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
@@ -128,13 +139,15 @@ fn tables() -> &'static AesTables {
 /// ```
 #[derive(Clone)]
 pub struct Aes128 {
-    /// 11 round keys of 16 bytes each (reference path).
+    /// 11 round keys of 16 bytes each (reference path and AES-NI path).
     round_keys: [[u8; 16]; 11],
     /// Encryption round keys as big-endian column words (T-table path).
     ek: [[u32; 4]; 11],
     /// Decryption round keys for the equivalent inverse cipher:
     /// `dk[r] = InvMixColumns(round_keys[r])` for the middle rounds.
     dk: [[u32; 4]; 11],
+    /// Which implementation block encryption dispatches to.
+    backend: Backend,
 }
 
 impl core::fmt::Debug for Aes128 {
@@ -155,8 +168,34 @@ fn key_words(rk: &[u8; 16]) -> [u32; 4] {
 impl Aes128 {
     /// Expands a 128-bit key into the 11 round keys (both the byte-wise
     /// schedule used by the reference path and the word-form schedules of
-    /// the T-table encrypt / equivalent-inverse-cipher decrypt paths).
+    /// the T-table encrypt / equivalent-inverse-cipher decrypt paths),
+    /// dispatching to the process-wide [`Backend`].
     pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, Backend::detect())
+    }
+
+    /// Like [`Aes128::new`] but with an explicit backend — used by the
+    /// equivalence tests to exercise both paths in one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is [`Backend::Simd`] on a host without AES-NI.
+    pub fn with_backend(key: &[u8; 16], backend: Backend) -> Self {
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(backend != Backend::Simd, "SIMD backend requires x86-64");
+        #[cfg(target_arch = "x86_64")]
+        if backend == Backend::Simd {
+            assert!(Backend::simd_available(), "SIMD backend requires AES-NI/PCLMULQDQ");
+            // The hardware schedule; pinned byte-identical to the software
+            // schedule below by `keygenassist_schedule_matches_software_schedule`.
+            let round_keys = crate::simd::expand_key(key);
+            return Self::from_round_keys(round_keys, backend);
+        }
+        Self::from_round_keys(Self::soft_schedule(key), backend)
+    }
+
+    /// The FIPS-197 software key schedule.
+    fn soft_schedule(key: &[u8; 16]) -> [[u8; 16]; 11] {
         let mut w = [[0u8; 4]; 44];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
             w[i].copy_from_slice(chunk);
@@ -180,7 +219,11 @@ impl Aes128 {
                 rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
             }
         }
+        round_keys
+    }
 
+    /// Derives the word-form T-table schedules from the byte schedule.
+    fn from_round_keys(round_keys: [[u8; 16]; 11], backend: Backend) -> Self {
         let mut ek = [[0u32; 4]; 11];
         for (r, rk) in round_keys.iter().enumerate() {
             ek[r] = key_words(rk);
@@ -194,11 +237,31 @@ impl Aes128 {
             inv_mix_columns(&mut mixed);
             dk[r] = key_words(&mixed);
         }
-        Self { round_keys, ek, dk }
+        Self { round_keys, ek, dk, backend }
+    }
+
+    /// The backend this instance dispatches block encryption to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The expanded byte-form round keys — for the in-crate fused SIMD
+    /// kernels and the schedule-equivalence tests.
+    pub(crate) fn round_keys(&self) -> &[[u8; 16]; 11] {
+        &self.round_keys
+    }
+
+    /// Encrypts one 16-byte block, dispatching to the instance backend.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == Backend::Simd {
+            return crate::simd::encrypt_block(&self.round_keys, block);
+        }
+        self.encrypt_block_table(block)
     }
 
     /// Encrypts one 16-byte block via the fused T-table rounds.
-    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+    fn encrypt_block_table(&self, block: &[u8; 16]) -> [u8; 16] {
         let t = tables();
         let mut w = key_words(block);
         for (c, k) in self.ek[0].iter().enumerate() {
@@ -244,19 +307,37 @@ impl Aes128 {
         out
     }
 
-    /// Encrypts four blocks in one call — the batch entry point the
-    /// counter-mode line cipher uses to derive a whole 64-byte pad.
+    /// Encrypts a slice of independent blocks in place — the shared
+    /// batching surface under CTR pad generation and the batched MAC APIs.
     ///
-    /// The four column words of each block already expose 4-way
-    /// instruction-level parallelism per round; batching amortizes call
-    /// overhead and keeps the T-tables hot across the pad's four blocks.
+    /// On the SIMD backend up to eight blocks ride the pipelined AES-NI
+    /// unit together, overlapping the 4-cycle `aesenc` latency across
+    /// lanes; on the table backend the four column words of each block
+    /// already expose 4-way ILP per round and batching amortizes call
+    /// overhead while keeping the T-tables hot.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == Backend::Simd {
+            crate::simd::encrypt_blocks(&self.round_keys, blocks);
+            return;
+        }
+        for b in blocks.iter_mut() {
+            *b = self.encrypt_block_table(b);
+        }
+    }
+
+    /// Array-form convenience over [`Aes128::encrypt_blocks`] for callers
+    /// with a compile-time batch width.
+    pub fn encrypt_blocks_n<const N: usize>(&self, blocks: &[[u8; 16]; N]) -> [[u8; 16]; N] {
+        let mut out = *blocks;
+        self.encrypt_blocks(&mut out);
+        out
+    }
+
+    /// Encrypts four blocks in one call — the batch width of a 64-byte
+    /// line pad. Thin wrapper over [`Aes128::encrypt_blocks_n`].
     pub fn encrypt_blocks4(&self, blocks: &[[u8; 16]; 4]) -> [[u8; 16]; 4] {
-        [
-            self.encrypt_block(&blocks[0]),
-            self.encrypt_block(&blocks[1]),
-            self.encrypt_block(&blocks[2]),
-            self.encrypt_block(&blocks[3]),
-        ]
+        self.encrypt_blocks_n(blocks)
     }
 
     /// Decrypts one 16-byte block via the equivalent inverse cipher with
@@ -508,6 +589,40 @@ mod tests {
         for (i, b) in blocks.iter().enumerate() {
             assert_eq!(batch[i], aes.encrypt_block(b));
         }
+    }
+
+    #[test]
+    fn encrypt_blocks_matches_singles_at_odd_widths() {
+        // Widths straddling the 8-lane SIMD chunking (including a ragged
+        // tail) and the empty slice; on non-SIMD hosts this still pins the
+        // slice surface against per-block calls.
+        for backend in [Backend::Table, Backend::detect()] {
+            let aes = Aes128::with_backend(&[0x42; 16], backend);
+            for n in [0usize, 1, 3, 4, 7, 8, 9, 17] {
+                let mut blocks: Vec<[u8; 16]> = (0..n)
+                    .map(|i| [(i as u8).wrapping_mul(37); 16])
+                    .collect();
+                let expect: Vec<[u8; 16]> =
+                    blocks.iter().map(|b| aes.encrypt_block_reference(b)).collect();
+                aes.encrypt_blocks(&mut blocks);
+                assert_eq!(blocks, expect, "{backend:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn backends_produce_identical_ciphertext() {
+        if !Backend::simd_available() {
+            eprintln!("SKIP: host lacks AES-NI — cross-backend AES test not run");
+            return;
+        }
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let simd = Aes128::with_backend(&key, Backend::Simd);
+        let table = Aes128::with_backend(&key, Backend::Table);
+        assert_eq!(simd.round_keys(), table.round_keys(), "key schedules differ");
+        let pt = hex16("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(simd.encrypt_block(&pt), table.encrypt_block(&pt));
+        assert_eq!(simd.encrypt_block(&pt), hex16("3ad77bb40d7a3660a89ecaf32466ef97"));
     }
 
     #[test]

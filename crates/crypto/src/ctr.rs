@@ -12,16 +12,21 @@
 //! tree (see `synergy-secure`).
 //!
 //! Pad derivation batches all four blocks through
-//! [`Aes128::encrypt_blocks4`], the T-table batch entry point, so a full
-//! 64-byte pad is one call. [`pad_with_cipher_reference`] keeps the scalar
-//! per-byte AES path for equivalence testing and benchmarking.
+//! [`Aes128::encrypt_blocks4`] (which dispatches to AES-NI on the SIMD
+//! backend), so a full 64-byte pad is one call; [`LineCipher::pads_batch`]
+//! goes further and pipelines the pads of several independent lines
+//! through one [`Aes128::encrypt_blocks`] call. [`pad_with_cipher_reference`]
+//! keeps the scalar per-byte AES path for equivalence testing and
+//! benchmarking.
 
+use crate::backend::Backend;
 use crate::{Aes128, CacheLine, EncryptionKey, LINE_BYTES};
 
 /// Derives the 64-byte one-time pad for `(addr, counter)`.
 ///
-/// The pad is the concatenation of four AES blocks
-/// `AES_K(addr || counter || i)` for block index `i` in `0..4`.
+/// **Warning — not for hot paths.** Each call re-runs the AES key
+/// schedule; hold a [`LineCipher`] (or an [`Aes128`] with
+/// [`pad_with_cipher`]) when deriving more than one pad under a key.
 pub fn one_time_pad(key: &EncryptionKey, addr: u64, counter: u64) -> CacheLine {
     pad_with_cipher(&Aes128::new(key.as_bytes()), addr, counter)
 }
@@ -102,6 +107,34 @@ impl LineCipher {
         Self { aes: Aes128::new(key.as_bytes()) }
     }
 
+    /// Like [`LineCipher::new`] but with an explicit backend — used by the
+    /// equivalence tests to exercise both paths in one process.
+    pub fn with_backend(key: &EncryptionKey, backend: Backend) -> Self {
+        Self { aes: Aes128::with_backend(key.as_bytes(), backend) }
+    }
+
+    /// Derives one-time pads for a batch of independent `(addr, counter)`
+    /// nonces — semantically `nonces.map(one_time_pad)`, but all `4·n`
+    /// counter blocks go through one [`Aes128::encrypt_blocks`] call so
+    /// independent lines overlap in the AES unit.
+    pub fn pads_batch(&self, nonces: &[(u64, u64)]) -> Vec<CacheLine> {
+        let mut blocks: Vec<[u8; 16]> = Vec::with_capacity(nonces.len() * 4);
+        for &(addr, counter) in nonces {
+            blocks.extend_from_slice(&pad_blocks(addr, counter));
+        }
+        self.aes.encrypt_blocks(&mut blocks);
+        blocks
+            .chunks_exact(4)
+            .map(|cts| {
+                let mut pad = [0u8; LINE_BYTES];
+                for (i, ct) in cts.iter().enumerate() {
+                    pad[i * 16..(i + 1) * 16].copy_from_slice(ct);
+                }
+                CacheLine::from_bytes(pad)
+            })
+            .collect()
+    }
+
     /// Encrypts a plaintext line under `(addr, counter)`.
     pub fn encrypt(&self, addr: u64, counter: u64, plaintext: &CacheLine) -> CacheLine {
         plaintext.xor(&pad_with_cipher(&self.aes, addr, counter))
@@ -151,6 +184,41 @@ mod tests {
         let cipher = LineCipher::new(&key());
         let pt = CacheLine::from_bytes([0x19; 64]);
         assert_eq!(cipher.encrypt(0x40, 7, &pt), cipher.encrypt_reference(0x40, 7, &pt));
+    }
+
+    #[test]
+    fn pads_batch_matches_scalar_pads() {
+        for backend in [Backend::Table, Backend::detect()] {
+            let cipher = LineCipher::with_backend(&key(), backend);
+            let nonces: Vec<(u64, u64)> =
+                (0u64..5).map(|i| (0x1000 + 64 * i, 7 + i)).collect();
+            // Batch sizes straddling the 8-lane AES chunking (4·n blocks).
+            for n in [0, 1, 2, 3, 5] {
+                let batch = cipher.pads_batch(&nonces[..n]);
+                let scalar: Vec<CacheLine> = nonces[..n]
+                    .iter()
+                    .map(|&(a, c)| pad_with_cipher(&cipher.aes, a, c))
+                    .collect();
+                assert_eq!(batch, scalar, "{backend:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_table_backends_agree_on_pads() {
+        if !Backend::simd_available() {
+            eprintln!("SKIP: host lacks AES-NI — cross-backend CTR test not run");
+            return;
+        }
+        let simd = LineCipher::with_backend(&key(), Backend::Simd);
+        let table = LineCipher::with_backend(&key(), Backend::Table);
+        let pt = CacheLine::from_bytes([0x19; 64]);
+        for (addr, counter) in [(0u64, 0u64), (0x1000, 42), (u64::MAX, (1 << 56) - 1)] {
+            assert_eq!(
+                simd.encrypt(addr, counter, &pt),
+                table.encrypt(addr, counter, &pt)
+            );
+        }
     }
 
     #[test]

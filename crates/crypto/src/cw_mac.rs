@@ -15,9 +15,12 @@
 //! The hash hot path multiplies by the fixed secret point `k` on every word,
 //! so [`CarterWegmanMac::new`] builds a [`Gf64Key`] — a 4-bit-window table
 //! (16 nibble positions × 16 entries × 8 bytes = 2 KiB, stored inline) that
-//! turns each multiply into 16 lookups + XORs. The bit-serial
-//! [`gf64_mul_reference`] is kept as the testing oracle.
+//! turns each multiply into 16 lookups + XORs; on the SIMD backend the
+//! multiply is instead one PCLMULQDQ product with a two-fold reduction
+//! (see `crate::simd`). The bit-serial [`gf64_mul_reference`] is kept as
+//! the testing oracle.
 
+use crate::backend::Backend;
 use crate::{Aes128, CacheLine, MacKey};
 
 /// Reduction polynomial for GF(2^64): x^64 + x^4 + x^3 + x + 1.
@@ -61,6 +64,7 @@ pub fn gf64_mul(a: u64, b: u64) -> u64 {
 pub struct Gf64Key {
     k: u64,
     table: [[u64; 16]; 16],
+    backend: Backend,
 }
 
 impl core::fmt::Debug for Gf64Key {
@@ -75,6 +79,22 @@ impl Gf64Key {
     /// Setup costs 64 reference multiplies (one per bit position); the
     /// remaining entries follow by linearity.
     pub fn new(k: u64) -> Self {
+        Self::with_backend(k, Backend::detect())
+    }
+
+    /// Like [`Gf64Key::new`] but with an explicit backend — used by the
+    /// equivalence tests to exercise both paths in one process.
+    ///
+    /// The 2 KiB window table is cheap enough that it is built regardless
+    /// of backend (it keeps the struct layout backend-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is [`Backend::Simd`] on a host without PCLMULQDQ.
+    pub fn with_backend(k: u64, backend: Backend) -> Self {
+        if backend == Backend::Simd {
+            assert!(Backend::simd_available(), "SIMD backend requires PCLMULQDQ");
+        }
         let mut table = [[0u64; 16]; 16];
         for (j, row) in table.iter_mut().enumerate() {
             let mut bit_products = [0u64; 4];
@@ -85,7 +105,7 @@ impl Gf64Key {
                 row[n] = row[n & (n - 1)] ^ bit_products[n.trailing_zeros() as usize];
             }
         }
-        Self { k, table }
+        Self { k, table, backend }
     }
 
     /// The raw evaluation point `k`.
@@ -93,9 +113,14 @@ impl Gf64Key {
         self.k
     }
 
-    /// Multiplies `x` by `k`: 16 nibble lookups + XORs.
+    /// Multiplies `x` by `k` — 16 nibble lookups + XORs on the table
+    /// backend, one carry-less multiply on the SIMD backend.
     #[inline]
     pub fn mul(&self, x: u64) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == Backend::Simd {
+            return crate::simd::gf64_mul(x, self.k);
+        }
         let mut acc = 0u64;
         for (j, row) in self.table.iter().enumerate() {
             acc ^= row[(x >> (4 * j)) as usize & 0xf];
@@ -138,7 +163,13 @@ impl CarterWegmanMac {
     /// domain-separation block, so one `MacKey` safely drives both the hash
     /// and the pad generator. The point's window table is built here, once.
     pub fn new(key: &MacKey) -> Self {
-        let aes = Aes128::new(key.as_bytes());
+        Self::with_backend(key, Backend::detect())
+    }
+
+    /// Like [`CarterWegmanMac::new`] but with an explicit backend — used
+    /// by the equivalence tests to exercise both paths in one process.
+    pub fn with_backend(key: &MacKey, backend: Backend) -> Self {
+        let aes = Aes128::with_backend(key.as_bytes(), backend);
         let mut block = [0u8; 16];
         block[0] = 0xC1; // domain separator: hash-key derivation
         let derived = aes.encrypt_block(&block);
@@ -150,7 +181,7 @@ impl CarterWegmanMac {
         }
         Self {
             aes,
-            hash_key: Gf64Key::new(hash_key),
+            hash_key: Gf64Key::with_backend(hash_key, backend),
         }
     }
 
@@ -266,6 +297,25 @@ mod tests {
             );
         }
         assert_eq!(m.tag(7, 8, &[1, 2, 3]), m.tag_reference(7, 8, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn simd_and_table_backends_agree_on_tags() {
+        if !Backend::simd_available() {
+            eprintln!("SKIP: host lacks AES-NI/PCLMULQDQ — cross-backend CW test not run");
+            return;
+        }
+        let key = MacKey::from_bytes([0x42; 16]);
+        let simd = CarterWegmanMac::with_backend(&key, Backend::Simd);
+        let table = CarterWegmanMac::with_backend(&key, Backend::Table);
+        let line = CacheLine::from_bytes([0x6E; 64]);
+        for (addr, counter) in [(0u64, 0u64), (0x2000, 9), (u64::MAX, 12345)] {
+            assert_eq!(
+                simd.line_tag(addr, counter, &line),
+                table.line_tag(addr, counter, &line)
+            );
+        }
+        assert_eq!(simd.tag(7, 8, &[1, 2, 3]), table.tag(7, 8, &[1, 2, 3]));
     }
 
     #[test]

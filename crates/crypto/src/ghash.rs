@@ -10,17 +10,32 @@
 //! * the school-book shift-and-add [`gf128_mul_reference`] (128 iterations
 //!   per block) and the free functions built on it — the **oracle** used by
 //!   the equivalence tests; and
-//! * [`GhashKey`], a per-key **8-bit-window table** (16 byte positions ×
-//!   256 entries × 16 bytes = 64 KiB per key, heap-allocated) built once at
-//!   key setup. A block multiply by `H` then costs 16 table lookups and 15
-//!   XORs — no per-bit loop and no explicit reduction, because reduction is
-//!   baked into the precomputed products. This is the classic software-GCM
-//!   technique (cf. the "simple, 64 KiB" variant in Shoup's and OpenSSL's
-//!   GHASH implementations) and is what the per-line tag hot path uses.
+//! * [`GhashKey`], the keyed hot path, which dispatches on
+//!   [`crate::Backend`]:
+//!   - **table** — a per-key **8-bit-window table** (16 byte positions ×
+//!     256 entries × 16 bytes = 64 KiB per key, heap-allocated) built once
+//!     at key setup. A block multiply by `H` then costs 16 table lookups
+//!     and 15 XORs — no per-bit loop and no explicit reduction, because
+//!     reduction is baked into the precomputed products. This is the
+//!     classic software-GCM technique (cf. the "simple, 64 KiB" variant in
+//!     Shoup's and OpenSSL's GHASH implementations).
+//!   - **simd** (x86-64 + PCLMULQDQ) — carry-less multiplies in
+//!     `crate::simd`, *aggregated*: with the precomputed powers
+//!     `H^1..H^8` up to eight blocks are absorbed as independent 256-bit
+//!     products XORed before a single reduction, so the serial Horner
+//!     chain becomes instruction-level parallelism. The 64 KiB table is
+//!     not built on this backend.
+
+use crate::backend::Backend;
 
 /// The GCM reduction constant: x^128 ≡ x^7 + x^2 + x + 1, in the GCM bit
 /// order this is the byte 0xE1 followed by fifteen zero bytes.
 const R: u128 = 0xe1 << 120;
+
+/// How many key powers the aggregated SIMD fold precomputes, i.e. the
+/// maximum blocks absorbed per reduction. Eight covers a whole line tag
+/// (1 AAD + 4 data + 1 length = 6 blocks) in one fold.
+const AGG_BLOCKS: usize = 8;
 
 /// Multiplies two elements of GF(2^128) in the GCM bit ordering.
 ///
@@ -60,11 +75,16 @@ pub fn gf128_mul(x: u128, y: u128) -> u128 {
 /// `x × H = XOR over pos of table[pos][byte_pos(x)]`.
 ///
 /// The table is 64 KiB and boxed, so a `GhashKey` is cheap to move; cloning
-/// copies the table.
+/// copies the table. On the SIMD backend the table is not built at all —
+/// only the eight key powers for the aggregated fold.
 #[derive(Clone)]
 pub struct GhashKey {
     h: u128,
-    table: Box<[[u128; 256]; 16]>,
+    /// `powers[j] = H^(j+1)`, for the aggregated SIMD fold.
+    powers: [u128; AGG_BLOCKS],
+    /// 8-bit-window table; `Some` iff `backend == Backend::Table`.
+    table: Option<Box<[[u128; 256]; 16]>>,
+    backend: Backend,
 }
 
 impl core::fmt::Debug for GhashKey {
@@ -81,20 +101,45 @@ impl GhashKey {
     /// linearity: `table[pos][b] = table[pos][b without lowest bit] ^
     /// table[pos][lowest bit of b]`.
     pub fn new(h: u128) -> Self {
-        let mut table = Box::new([[0u128; 256]; 16]);
-        for pos in 0..16 {
-            // Product of H with each single-bit byte at this position.
-            let mut bit_products = [0u128; 8];
-            for (bit, p) in bit_products.iter_mut().enumerate() {
-                let operand = 1u128 << (120 - 8 * pos + bit);
-                *p = gf128_mul_reference(operand, h);
-            }
-            let row = &mut table[pos];
-            for b in 1usize..256 {
-                row[b] = row[b & (b - 1)] ^ bit_products[b.trailing_zeros() as usize];
-            }
+        Self::with_backend(h, Backend::detect())
+    }
+
+    /// Like [`GhashKey::new`] but with an explicit backend — used by the
+    /// equivalence tests to exercise both paths in one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is [`Backend::Simd`] on a host without PCLMULQDQ.
+    pub fn with_backend(h: u128, backend: Backend) -> Self {
+        let mut powers = [0u128; AGG_BLOCKS];
+        let mut p = h;
+        for slot in powers.iter_mut() {
+            *slot = p;
+            p = gf128_mul_reference(p, h);
         }
-        Self { h, table }
+        let table = match backend {
+            Backend::Simd => {
+                assert!(Backend::simd_available(), "SIMD backend requires PCLMULQDQ");
+                None
+            }
+            Backend::Table => {
+                let mut table = Box::new([[0u128; 256]; 16]);
+                for pos in 0..16 {
+                    // Product of H with each single-bit byte at this position.
+                    let mut bit_products = [0u128; 8];
+                    for (bit, p) in bit_products.iter_mut().enumerate() {
+                        let operand = 1u128 << (120 - 8 * pos + bit);
+                        *p = gf128_mul_reference(operand, h);
+                    }
+                    let row = &mut table[pos];
+                    for b in 1usize..256 {
+                        row[b] = row[b & (b - 1)] ^ bit_products[b.trailing_zeros() as usize];
+                    }
+                }
+                Some(table)
+            }
+        };
+        Self { h, powers, table, backend }
     }
 
     /// The raw hash subkey `H`.
@@ -102,41 +147,129 @@ impl GhashKey {
         self.h
     }
 
-    /// Multiplies `x` by the subkey `H`: 16 table lookups + XORs.
+    /// The backend this key dispatches multiplies to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The precomputed key powers `powers[j] = H^(j+1)` — for the
+    /// in-crate fused SIMD kernels.
+    pub(crate) fn powers(&self) -> &[u128] {
+        &self.powers
+    }
+
+    /// Multiplies `x` by the subkey `H` — 16 table lookups + XORs on the
+    /// table backend, one carry-less multiply on the SIMD backend.
     #[inline]
     pub fn mul(&self, x: u128) -> u128 {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == Backend::Simd {
+            return crate::simd::gf128_mul(x, self.h);
+        }
+        let table = self.table.as_deref().expect("table backend has a table");
         let bytes = x.to_be_bytes();
         let mut acc = 0u128;
         for (pos, &b) in bytes.iter().enumerate() {
-            acc ^= self.table[pos][b as usize];
+            acc ^= table[pos][b as usize];
         }
         acc
     }
 
-    /// Computes GHASH over complete 16-byte blocks using the table.
+    /// Computes GHASH over complete 16-byte blocks.
     pub fn ghash_blocks(&self, blocks: impl IntoIterator<Item = u128>) -> u128 {
-        let mut y = 0u128;
+        let mut acc = Accumulator::new(self);
         for x in blocks {
-            y = self.mul(y ^ x);
+            acc.push(x);
         }
-        y
+        acc.finish()
     }
 
-    /// Table-driven equivalent of [`ghash`]: full GCM-style GHASH over AAD
-    /// and data with the trailing length block.
+    /// Keyed equivalent of [`ghash`]: full GCM-style GHASH over AAD and
+    /// data with the trailing length block.
     pub fn ghash(&self, aad: &[u8], data: &[u8]) -> u128 {
-        let mut y = 0u128;
-        let mut absorb = |bytes: &[u8]| {
+        let mut acc = Accumulator::new(self);
+        let absorb = |acc: &mut Accumulator<'_>, bytes: &[u8]| {
             for chunk in bytes.chunks(16) {
                 let mut block = [0u8; 16];
                 block[..chunk.len()].copy_from_slice(chunk);
-                y = self.mul(y ^ u128::from_be_bytes(block));
+                acc.push(u128::from_be_bytes(block));
             }
         };
-        absorb(aad);
-        absorb(data);
+        absorb(&mut acc, aad);
+        absorb(&mut acc, data);
         let len_block = ((aad.len() as u128 * 8) << 64) | (data.len() as u128 * 8);
-        self.mul(y ^ len_block)
+        acc.push(len_block);
+        acc.finish()
+    }
+
+    /// [`GhashKey::ghash`] specialized for the line-tag shape — a 4-byte
+    /// AAD and exactly 64 bytes of data. The six blocks (one AAD, four
+    /// data, one length) are assembled on the stack and absorbed in
+    /// **one** aggregated fold on the SIMD backend, skipping the
+    /// streaming `Accumulator`'s per-block buffering, which costs
+    /// several times the fold itself at this fixed small size.
+    pub fn ghash_line(&self, aad: [u8; 4], data: &[u8; 64]) -> u128 {
+        let mut blocks = [0u128; 6];
+        blocks[0] = (u32::from_be_bytes(aad) as u128) << 96;
+        for (slot, chunk) in blocks[1..5].iter_mut().zip(data.chunks_exact(16)) {
+            *slot = u128::from_be_bytes(chunk.try_into().expect("16-byte chunk"));
+        }
+        // Bit lengths: 4-byte AAD, 64-byte data.
+        blocks[5] = (32u128 << 64) | 512;
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == Backend::Simd {
+            return crate::simd::ghash_fold(0, &blocks, &self.powers);
+        }
+        let mut y = 0u128;
+        for b in blocks {
+            y = self.mul(y ^ b);
+        }
+        y
+    }
+}
+
+/// Streaming GHASH state: a plain Horner loop on the table backend, a
+/// buffer of up to [`AGG_BLOCKS`] blocks folded per single reduction on
+/// the SIMD backend.
+struct Accumulator<'a> {
+    key: &'a GhashKey,
+    y: u128,
+    buf: [u128; AGG_BLOCKS],
+    len: usize,
+}
+
+impl<'a> Accumulator<'a> {
+    fn new(key: &'a GhashKey) -> Self {
+        Self { key, y: 0, buf: [0; AGG_BLOCKS], len: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, block: u128) {
+        #[cfg(target_arch = "x86_64")]
+        if self.key.backend == Backend::Simd {
+            self.buf[self.len] = block;
+            self.len += 1;
+            if self.len == AGG_BLOCKS {
+                self.flush();
+            }
+            return;
+        }
+        self.y = self.key.mul(self.y ^ block);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn flush(&mut self) {
+        if self.len > 0 {
+            self.y = crate::simd::ghash_fold(self.y, &self.buf[..self.len], &self.key.powers);
+            self.len = 0;
+        }
+    }
+
+    #[inline]
+    fn finish(mut self) -> u128 {
+        #[cfg(target_arch = "x86_64")]
+        self.flush();
+        self.y
     }
 }
 
@@ -287,6 +420,63 @@ mod tests {
     }
 
     #[test]
+    fn simd_key_agrees_with_table_key() {
+        if !Backend::simd_available() {
+            eprintln!("SKIP: host lacks PCLMULQDQ — cross-backend GHASH test not run");
+            return;
+        }
+        let h = 0x66e94bd4ef8a2c3b_884cfa59ca342b2eu128;
+        let simd = GhashKey::with_backend(h, Backend::Simd);
+        let table = GhashKey::with_backend(h, Backend::Table);
+        for x in [0u128, 1, 1 << 127, u128::MAX, 0xdead << 96 | 0xbeef] {
+            assert_eq!(simd.mul(x), table.mul(x), "x={x:032x}");
+        }
+        // Block counts straddling the aggregation width, including the
+        // multi-fold case (> AGG_BLOCKS) and byte strings with padding.
+        let blocks: Vec<u128> = (1..=21u128).map(|i| i * 0x1234_5678_9abc_def1).collect();
+        for n in [0, 1, 5, 6, 7, 8, 9, 16, 17, 21] {
+            assert_eq!(
+                simd.ghash_blocks(blocks[..n].iter().copied()),
+                table.ghash_blocks(blocks[..n].iter().copied()),
+                "n={n}"
+            );
+        }
+        let data: Vec<u8> = (0u8..150).collect();
+        for (aad_len, data_len) in [(0, 0), (4, 64), (13, 77), (16, 128), (33, 150)] {
+            assert_eq!(
+                simd.ghash(&data[..aad_len], &data[..data_len]),
+                table.ghash(&data[..aad_len], &data[..data_len]),
+                "aad={aad_len} data={data_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn ghash_line_matches_generic_ghash() {
+        let h = 0x66e94bd4ef8a2c3b_884cfa59ca342b2eu128;
+        let backends: &[Backend] = if Backend::simd_available() {
+            &[Backend::Table, Backend::Simd]
+        } else {
+            eprintln!("SKIP: host lacks PCLMULQDQ — ghash_line tested on table backend only");
+            &[Backend::Table]
+        };
+        for &backend in backends {
+            let key = GhashKey::with_backend(h, backend);
+            let mut data = [0u8; 64];
+            for (i, b) in data.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(167).wrapping_add(3);
+            }
+            for aad in [[0u8; 4], [1, 2, 3, 4], [0xff; 4]] {
+                assert_eq!(
+                    key.ghash_line(aad, &data),
+                    key.ghash(&aad, &data),
+                    "{backend:?} aad={aad:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn table_blocks_agrees_with_reference_blocks() {
         let h = 0xdeadbeefcafef00d_0123456789abcdefu128;
         let key = GhashKey::new(h);
@@ -297,3 +487,4 @@ mod tests {
         );
     }
 }
+

@@ -12,12 +12,17 @@
 //! corruption of the stored line or tag is detected except with probability
 //! 2^-64 per comparison.
 //!
-//! The tag path is table-driven: [`Gmac::new`] builds a [`GhashKey`]
-//! (64 KiB 8-bit-window table) once, so each line tag costs 6 table-driven
-//! GF(2^128) multiplies plus one T-table AES encryption. The bit-serial
-//! path is kept as [`Gmac::tag128_reference`] / [`Gmac::line_tag_reference`]
-//! for equivalence testing and benchmarking.
+//! The tag path is keyed and backend-dispatched: [`Gmac::new`] derives the
+//! AES schedule and a [`GhashKey`] once, so each line tag costs 6 GF(2^128)
+//! multiplies plus one AES encryption — table lookups on the portable
+//! backend, one aggregated PCLMULQDQ fold plus an AES-NI encryption on the
+//! SIMD backend. [`Gmac::line_tags_batch`] and [`Gmac::verify_lines_batch`]
+//! additionally pipeline the `E_K(J0)` block encryptions of several
+//! independent lines through one [`Aes128::encrypt_blocks`] call. The
+//! bit-serial path is kept as [`Gmac::tag128_reference`] /
+//! [`Gmac::line_tag_reference`] for equivalence testing and benchmarking.
 
+use crate::backend::Backend;
 use crate::ghash::{ghash, GhashKey};
 use crate::{Aes128, CacheLine, MacKey};
 
@@ -52,11 +57,17 @@ impl Gmac {
     /// schedule and builds the GHASH window table — one-time cost, amortized
     /// over every subsequent tag.
     pub fn new(key: &MacKey) -> Self {
-        let aes = Aes128::new(key.as_bytes());
+        Self::with_backend(key, Backend::detect())
+    }
+
+    /// Like [`Gmac::new`] but with an explicit backend — used by the
+    /// equivalence tests to exercise both paths in one process.
+    pub fn with_backend(key: &MacKey, backend: Backend) -> Self {
+        let aes = Aes128::with_backend(key.as_bytes(), backend);
         let h = u128::from_be_bytes(aes.encrypt_block(&[0u8; 16]));
         Self {
             aes,
-            hkey: GhashKey::new(h),
+            hkey: GhashKey::with_backend(h, backend),
         }
     }
 
@@ -94,8 +105,25 @@ impl Gmac {
     }
 
     /// Tag for a 64-byte data cacheline: MAC(addr, counter, ciphertext).
+    ///
+    /// Semantically `tag64(addr, counter, line.as_bytes())`, but routed
+    /// through [`GhashKey::ghash_line`]'s fixed-shape single-fold path
+    /// (pinned equal to the generic path by test).
     pub fn line_tag(&self, addr: u64, counter: u64, line: &CacheLine) -> u64 {
-        self.tag64(addr, counter, line.as_bytes())
+        let (j0, aad) = Self::nonce_parts(addr, counter);
+        #[cfg(target_arch = "x86_64")]
+        if self.aes.backend() == Backend::Simd {
+            let tag = crate::simd::gmac_line_tag(
+                self.aes.round_keys(),
+                self.hkey.powers(),
+                j0,
+                aad,
+                line.as_bytes(),
+            );
+            return (tag >> 64) as u64;
+        }
+        let g = self.hkey.ghash_line(aad, line.as_bytes());
+        ((g ^ self.aes.encrypt_u128(j0)) >> 64) as u64
     }
 
     /// [`Gmac::line_tag`] via the reference (bit-serial) path.
@@ -118,17 +146,69 @@ impl Gmac {
     pub fn node_tag(&self, addr: u64, parent_counter: u64, payload: &[u8]) -> u64 {
         self.tag64(addr, parent_counter, payload)
     }
+
+    /// Computes line tags for a batch of independent `(addr, counter,
+    /// line)` tuples — semantically `items.map(line_tag)`. On the SIMD
+    /// backend each tag runs the fused single-call kernel (AES and fold
+    /// already overlap inside it); on the table backend the per-line
+    /// `E_K(J0)` block encryptions are pipelined through one
+    /// [`Aes128::encrypt_blocks`] call, amortizing call overhead and
+    /// keeping the T-tables hot (the win the batched secure-engine drain
+    /// exploits).
+    pub fn line_tags_batch(&self, items: &[(u64, u64, &CacheLine)]) -> Vec<u64> {
+        #[cfg(target_arch = "x86_64")]
+        if self.aes.backend() == Backend::Simd {
+            return items
+                .iter()
+                .map(|&(addr, counter, line)| self.line_tag(addr, counter, line))
+                .collect();
+        }
+        let mut j0s: Vec<[u8; 16]> = items
+            .iter()
+            .map(|&(addr, counter, _)| Self::nonce_parts(addr, counter).0.to_be_bytes())
+            .collect();
+        self.aes.encrypt_blocks(&mut j0s);
+        items
+            .iter()
+            .zip(&j0s)
+            .map(|(&(addr, counter, line), ek_j0)| {
+                let (_, aad) = Self::nonce_parts(addr, counter);
+                let g = self.hkey.ghash_line(aad, line.as_bytes());
+                ((g ^ u128::from_be_bytes(*ek_j0)) >> 64) as u64
+            })
+            .collect()
+    }
+
+    /// Verifies stored tags for a batch of independent lines —
+    /// semantically `items.map(verify_line)` with the batched tag
+    /// pipeline of [`Gmac::line_tags_batch`].
+    pub fn verify_lines_batch(&self, items: &[(u64, u64, &CacheLine, u64)]) -> Vec<bool> {
+        let tuples: Vec<(u64, u64, &CacheLine)> =
+            items.iter().map(|&(a, c, l, _)| (a, c, l)).collect();
+        self.line_tags_batch(&tuples)
+            .iter()
+            .zip(items)
+            .map(|(computed, &(_, _, _, stored))| *computed == stored)
+            .collect()
+    }
 }
 
 /// One-shot convenience: compute the 64-bit GMAC of a cacheline.
 ///
-/// Prefer holding a [`Gmac`] when computing many tags — the key schedule and
-/// hash-subkey table are derived once per instance.
+/// **Warning — not for hot paths.** Each call runs full key setup: the AES
+/// key schedule plus (on the table backend) the 64 KiB GHASH window table,
+/// thousands of times the cost of the tag itself. Hold a [`Gmac`] and call
+/// [`Gmac::line_tag`] / [`Gmac::line_tags_batch`] when computing more than
+/// one tag under the same key.
 pub fn compute(key: &MacKey, addr: u64, counter: u64, line: &CacheLine) -> u64 {
     Gmac::new(key).line_tag(addr, counter, line)
 }
 
 /// One-shot convenience: verify the 64-bit GMAC of a cacheline.
+///
+/// **Warning — not for hot paths.** Repeats full key setup per call; see
+/// [`compute`]. Hold a [`Gmac`] and use [`Gmac::verify_line`] /
+/// [`Gmac::verify_lines_batch`] instead.
 pub fn verify(key: &MacKey, addr: u64, counter: u64, line: &CacheLine, tag: u64) -> bool {
     Gmac::new(key).verify_line(addr, counter, line, tag)
 }
@@ -222,6 +302,59 @@ mod tests {
         assert_eq!(tag, Gmac::new(&key).line_tag(64, 5, &line));
         assert!(verify(&key, 64, 5, &line, tag));
         assert!(!verify(&key, 64, 6, &line, tag));
+    }
+
+    #[test]
+    fn batch_tags_match_scalar_tags() {
+        for backend in [Backend::Table, Backend::detect()] {
+            let g = Gmac::with_backend(&MacKey::from_bytes([0x5A; 16]), backend);
+            let lines: Vec<CacheLine> =
+                (0u8..7).map(|i| CacheLine::from_bytes([i.wrapping_mul(41); 64])).collect();
+            let items: Vec<(u64, u64, &CacheLine)> = lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (0x1000 + 64 * i as u64, (1u64 << 40) + i as u64, l))
+                .collect();
+            // Batch sizes straddling the 8-lane AES pipeline, plus empty.
+            for n in [0, 1, 4, 7] {
+                let batch = g.line_tags_batch(&items[..n]);
+                let scalar: Vec<u64> =
+                    items[..n].iter().map(|&(a, c, l)| g.line_tag(a, c, l)).collect();
+                assert_eq!(batch, scalar, "{backend:?} n={n}");
+            }
+            let with_tags: Vec<(u64, u64, &CacheLine, u64)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, c, l))| {
+                    // Corrupt every other stored tag.
+                    let t = g.line_tag(a, c, l) ^ (i as u64 & 1);
+                    (a, c, l, t)
+                })
+                .collect();
+            let verdicts = g.verify_lines_batch(&with_tags);
+            for (i, ok) in verdicts.iter().enumerate() {
+                assert_eq!(*ok, i % 2 == 0, "{backend:?} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_table_backends_agree_on_tags() {
+        if !Backend::simd_available() {
+            eprintln!("SKIP: host lacks AES-NI/PCLMULQDQ — cross-backend GMAC test not run");
+            return;
+        }
+        let key = MacKey::from_bytes([0x33; 16]);
+        let simd = Gmac::with_backend(&key, Backend::Simd);
+        let table = Gmac::with_backend(&key, Backend::Table);
+        let line = CacheLine::from_bytes([0xA7; 64]);
+        for (addr, counter) in [(0u64, 0u64), (0x4000, 9), (u64::MAX, u64::MAX), (1, 1 << 40)] {
+            assert_eq!(
+                simd.tag128(addr, counter, line.as_bytes()),
+                table.tag128(addr, counter, line.as_bytes()),
+                "addr={addr:#x} counter={counter:#x}"
+            );
+        }
     }
 
     #[test]

@@ -16,49 +16,63 @@
 //! * **The AES-128 block cipher** ([`aes`]) underlying both, implemented
 //!   per FIPS-197 and validated against the published test vectors.
 //!
-//! Each primitive ships in two forms: a straightforward **reference**
+//! Each primitive ships in three forms: a straightforward **reference**
 //! implementation (bit-serial field multiplies, per-byte AES rounds —
 //! exported with `*_reference` names) that serves as the testing oracle,
-//! and a **table-driven** hot path (T-table AES, an 8-bit-window GHASH key
-//! table, a 4-bit-window GF(2^64) key table) built once at key setup and
-//! used by every keyed instance ([`Aes128`], [`gmac::Gmac`],
-//! [`cw_mac::CarterWegmanMac`], [`ctr::LineCipher`]). Proptest suites
-//! assert the two paths agree on random inputs and on the published
-//! known-answer vectors.
+//! a portable **table-driven** path (T-table AES, an 8-bit-window GHASH
+//! key table, a 4-bit-window GF(2^64) key table) built once at key setup,
+//! and — on x86-64 with AES-NI + PCLMULQDQ — a **SIMD** path
+//! (`_mm_aesenc_si128` rounds, `_mm_clmulepi64_si128` field multiplies)
+//! selected by one-time runtime CPU detection (see [`Backend`] and the
+//! `SYNERGY_CRYPTO_BACKEND` override). Every keyed instance ([`Aes128`],
+//! [`gmac::Gmac`], [`cw_mac::CarterWegmanMac`], [`ctr::LineCipher`])
+//! dispatches through its backend; proptest suites assert all paths agree
+//! on random inputs and on the published known-answer vectors.
 //!
 //! # Quickstart
 //!
-//! ```
-//! use synergy_crypto::{CacheLine, EncryptionKey, MacKey, ctr, gmac};
+//! Build the keyed instances **once** and reuse them — key setup expands
+//! the AES schedule and (on the table backend) a 64 KiB GHASH table:
 //!
-//! let enc_key = EncryptionKey::from_bytes([0x11; 16]);
-//! let mac_key = MacKey::from_bytes([0x22; 16]);
+//! ```
+//! use synergy_crypto::{CacheLine, EncryptionKey, MacKey};
+//! use synergy_crypto::{ctr::LineCipher, gmac::Gmac};
+//!
+//! let cipher = LineCipher::new(&EncryptionKey::from_bytes([0x11; 16]));
+//! let mac = Gmac::new(&MacKey::from_bytes([0x22; 16]));
 //! let plaintext = CacheLine::from_bytes([0xAB; 64]);
 //! let addr = 0x1000;
 //! let counter = 7;
 //!
 //! // Encrypt, MAC, then verify and decrypt — the per-line flow a secure
 //! // memory controller performs on every writeback and fill.
-//! let ciphertext = ctr::encrypt(&enc_key, addr, counter, &plaintext);
-//! let tag = gmac::compute(&mac_key, addr, counter, &ciphertext);
+//! let ciphertext = cipher.encrypt(addr, counter, &plaintext);
+//! let tag = mac.line_tag(addr, counter, &ciphertext);
 //!
-//! assert!(gmac::verify(&mac_key, addr, counter, &ciphertext, tag));
-//! let recovered = ctr::decrypt(&enc_key, addr, counter, &ciphertext);
+//! assert!(mac.verify_line(addr, counter, &ciphertext, tag));
+//! let recovered = cipher.decrypt(addr, counter, &ciphertext);
 //! assert_eq!(recovered, plaintext);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one module:
+// the `#[target_feature]` SIMD kernels in `simd`, which every safe
+// caller reaches only behind a successful runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod backend;
 pub mod ctr;
 pub mod cw_mac;
 pub mod ghash;
 pub mod gmac;
 
 mod line;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod simd;
 
 pub use aes::Aes128;
+pub use backend::Backend;
 pub use cw_mac::Gf64Key;
 pub use ghash::GhashKey;
 pub use line::CacheLine;

@@ -1,0 +1,453 @@
+//! x86-64 hardware crypto kernels: AES-NI rounds and PCLMULQDQ
+//! carry-less multiplies.
+//!
+//! This is the [`crate::backend::Backend::Simd`] implementation behind
+//! the dispatching primitives. Three kernel families live here:
+//!
+//! * **AES-128** — the round functions run on `_mm_aesenc_si128` /
+//!   `_mm_aesenclast_si128` with the key schedule derived via
+//!   `_mm_aeskeygenassist_si128`; [`encrypt_blocks`] pipelines a slice of
+//!   independent blocks through the rounds together so the 4-cycle
+//!   `aesenc` latency overlaps across lanes (the hardware unit is fully
+//!   pipelined).
+//! * **GHASH / GF(2^128)** — the repo represents GCM field elements as
+//!   `u128::from_be_bytes(block)`, which is exactly the *bit-reflected*
+//!   operand form of Intel's GCM white-paper `gfmul`: on a little-endian
+//!   load the register holds the reflection of the polynomial, so the
+//!   product is `clmul` (schoolbook 4-multiply), a 256-bit left shift by
+//!   one, and the shift-based reduction by x^128 + x^7 + x^2 + x + 1.
+//!   [`ghash_fold`] additionally *aggregates*: with precomputed powers
+//!   H^1..H^k a k-block GHASH becomes k independent 256-bit products
+//!   XORed before a **single** shift + reduction (linearity), turning the
+//!   serial Horner chain into instruction-level parallelism.
+//! * **GF(2^64)** — the Carter–Wegman hash field (the pentanomial
+//!   x^64 + x^4 + x^3 + x + 1, normal bit order): one `clmul` for the
+//!   product and two small folds of the high half through the
+//!   pentanomial's low terms.
+//!
+//! Every public function here has a safe signature; the `unsafe` is
+//! confined to `#[target_feature]` inner functions whose required CPU
+//! features the caller guarantees by only reaching this module through a
+//! [`crate::backend::Backend::Simd`] dispatch (which implies detection
+//! succeeded). All kernels are pinned against the crate's bit-serial
+//! `*_reference` oracles by the backend-equivalence proptest suite.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+/// Debug-build guard: the SIMD entry points must only be reached behind
+/// a successful feature detection.
+#[inline]
+fn debug_assert_supported() {
+    debug_assert!(
+        crate::backend::Backend::simd_available(),
+        "SIMD crypto kernel called without AES-NI/PCLMULQDQ"
+    );
+}
+
+// ---------------------------------------------------------------------
+// AES-128
+// ---------------------------------------------------------------------
+
+/// One key-schedule step: `prev` is round key r, returns round key r+1.
+/// `RCON` is the FIPS-197 round constant for the step.
+#[inline]
+#[target_feature(enable = "aes")]
+unsafe fn expand_step<const RCON: i32>(prev: __m128i) -> __m128i {
+    // aeskeygenassist computes SubWord(RotWord(w3)) ^ rcon in lane 3;
+    // broadcast it, then XOR the running prefix of the previous key.
+    let t = _mm_shuffle_epi32::<0xFF>(_mm_aeskeygenassist_si128::<RCON>(prev));
+    let mut k = prev;
+    k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+    k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+    k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+    _mm_xor_si128(k, t)
+}
+
+#[target_feature(enable = "aes")]
+unsafe fn expand_key_inner(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut rk = [[0u8; 16]; 11];
+    let mut k = _mm_loadu_si128(key.as_ptr().cast());
+    _mm_storeu_si128(rk[0].as_mut_ptr().cast(), k);
+    macro_rules! step {
+        ($i:expr, $rcon:expr) => {
+            k = expand_step::<$rcon>(k);
+            _mm_storeu_si128(rk[$i].as_mut_ptr().cast(), k);
+        };
+    }
+    step!(1, 0x01);
+    step!(2, 0x02);
+    step!(3, 0x04);
+    step!(4, 0x08);
+    step!(5, 0x10);
+    step!(6, 0x20);
+    step!(7, 0x40);
+    step!(8, 0x80);
+    step!(9, 0x1b);
+    step!(10, 0x36);
+    rk
+}
+
+/// AES-128 key expansion via `_mm_aeskeygenassist_si128`. Byte-identical
+/// to the software schedule in [`crate::aes`] (pinned by test).
+pub(crate) fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    debug_assert_supported();
+    unsafe { expand_key_inner(key) }
+}
+
+/// How many blocks ride the AES pipeline together. Eight lanes cover the
+/// 4-cycle `aesenc` latency with slack; beyond that register pressure
+/// costs more than the extra overlap buys.
+const AES_LANES: usize = 8;
+
+#[inline]
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_lanes(keys: &[__m128i; 11], lanes: &mut [__m128i]) {
+    for l in lanes.iter_mut() {
+        *l = _mm_xor_si128(*l, keys[0]);
+    }
+    for k in &keys[1..10] {
+        for l in lanes.iter_mut() {
+            *l = _mm_aesenc_si128(*l, *k);
+        }
+    }
+    for l in lanes.iter_mut() {
+        *l = _mm_aesenclast_si128(*l, keys[10]);
+    }
+}
+
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_blocks_inner(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+    let mut keys = [_mm_setzero_si128(); 11];
+    for (k, rk) in keys.iter_mut().zip(round_keys.iter()) {
+        *k = _mm_loadu_si128(rk.as_ptr().cast());
+    }
+    for chunk in blocks.chunks_mut(AES_LANES) {
+        let mut lanes = [_mm_setzero_si128(); AES_LANES];
+        let n = chunk.len();
+        for (l, b) in lanes.iter_mut().zip(chunk.iter()) {
+            *l = _mm_loadu_si128(b.as_ptr().cast());
+        }
+        encrypt_lanes(&keys, &mut lanes[..n]);
+        for (b, l) in chunk.iter_mut().zip(lanes.iter()) {
+            _mm_storeu_si128(b.as_mut_ptr().cast(), *l);
+        }
+    }
+}
+
+/// Encrypts a slice of blocks in place, pipelining up to [`AES_LANES`]
+/// blocks through the AES-NI rounds at a time.
+pub(crate) fn encrypt_blocks(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+    debug_assert_supported();
+    unsafe { encrypt_blocks_inner(round_keys, blocks) }
+}
+
+#[target_feature(enable = "aes")]
+unsafe fn encrypt_block_inner(round_keys: &[[u8; 16]; 11], block: &[u8; 16]) -> [u8; 16] {
+    let mut s = _mm_xor_si128(
+        _mm_loadu_si128(block.as_ptr().cast()),
+        _mm_loadu_si128(round_keys[0].as_ptr().cast()),
+    );
+    for rk in &round_keys[1..10] {
+        s = _mm_aesenc_si128(s, _mm_loadu_si128(rk.as_ptr().cast()));
+    }
+    s = _mm_aesenclast_si128(s, _mm_loadu_si128(round_keys[10].as_ptr().cast()));
+    let mut out = [0u8; 16];
+    _mm_storeu_si128(out.as_mut_ptr().cast(), s);
+    out
+}
+
+/// Single-block encryption — straight-line rounds with none of the
+/// lane-marshalling of [`encrypt_blocks`], which costs more than the
+/// cipher itself at a batch size of one.
+pub(crate) fn encrypt_block(round_keys: &[[u8; 16]; 11], block: &[u8; 16]) -> [u8; 16] {
+    debug_assert_supported();
+    unsafe { encrypt_block_inner(round_keys, block) }
+}
+
+// ---------------------------------------------------------------------
+// GF(2^128) — GCM bit-reflected representation
+// ---------------------------------------------------------------------
+
+/// A deferred (unreduced) 256-bit carry-less product, accumulated across
+/// aggregated GHASH terms before one shared shift + reduction.
+#[derive(Clone, Copy)]
+struct Wide {
+    hi: __m128i,
+    lo: __m128i,
+}
+
+#[inline]
+unsafe fn load_elem(x: u128) -> __m128i {
+    // Little-endian load of the u128 value: the register holds the
+    // bit-reflection of the GCM polynomial, i.e. the white-paper operand.
+    _mm_loadu_si128((&raw const x).cast())
+}
+
+#[inline]
+unsafe fn store_elem(v: __m128i) -> u128 {
+    let mut out = 0u128;
+    _mm_storeu_si128((&raw mut out).cast(), v);
+    out
+}
+
+/// Schoolbook 128×128 → 256-bit carry-less multiply (4 `clmul`s).
+#[inline]
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn clmul256(a: __m128i, b: __m128i) -> Wide {
+    let lo = _mm_clmulepi64_si128::<0x00>(a, b);
+    let hi = _mm_clmulepi64_si128::<0x11>(a, b);
+    let mid = _mm_xor_si128(
+        _mm_clmulepi64_si128::<0x10>(a, b),
+        _mm_clmulepi64_si128::<0x01>(a, b),
+    );
+    Wide {
+        hi: _mm_xor_si128(hi, _mm_srli_si128::<8>(mid)),
+        lo: _mm_xor_si128(lo, _mm_slli_si128::<8>(mid)),
+    }
+}
+
+/// Shifts the 256-bit product left by one bit and reduces modulo
+/// x^128 + x^7 + x^2 + x + 1 — the bit-reflected `gfmul` tail from
+/// Intel's GCM white paper. Linear in its input, so an XOR-accumulated
+/// [`Wide`] reduces in one call.
+#[inline]
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn shift_reduce(w: Wide) -> __m128i {
+    // 256-bit left shift by 1 across the four 32-bit lanes of [hi:lo].
+    let carry_lo = _mm_srli_epi32::<31>(w.lo);
+    let carry_hi = _mm_srli_epi32::<31>(w.hi);
+    let mut lo = _mm_slli_epi32::<1>(w.lo);
+    let mut hi = _mm_slli_epi32::<1>(w.hi);
+    let cross = _mm_srli_si128::<12>(carry_lo);
+    lo = _mm_or_si128(lo, _mm_slli_si128::<4>(carry_lo));
+    hi = _mm_or_si128(hi, _mm_slli_si128::<4>(carry_hi));
+    hi = _mm_or_si128(hi, cross);
+
+    // Reduction, phase 1: fold x^31/x^30/x^25 multiples of the low half.
+    let mut t = _mm_xor_si128(
+        _mm_xor_si128(_mm_slli_epi32::<31>(lo), _mm_slli_epi32::<30>(lo)),
+        _mm_slli_epi32::<25>(lo),
+    );
+    let t_high = _mm_srli_si128::<4>(t);
+    t = _mm_slli_si128::<12>(t);
+    lo = _mm_xor_si128(lo, t);
+
+    // Phase 2: right-shift folds complete the pentanomial.
+    let r = _mm_xor_si128(
+        _mm_xor_si128(_mm_srli_epi32::<1>(lo), _mm_srli_epi32::<2>(lo)),
+        _mm_xor_si128(_mm_srli_epi32::<7>(lo), t_high),
+    );
+    _mm_xor_si128(hi, _mm_xor_si128(lo, r))
+}
+
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn gf128_mul_inner(x: u128, y: u128) -> u128 {
+    store_elem(shift_reduce(clmul256(load_elem(x), load_elem(y))))
+}
+
+/// GF(2^128) multiply in the GCM bit ordering via PCLMULQDQ.
+pub(crate) fn gf128_mul(x: u128, y: u128) -> u128 {
+    debug_assert_supported();
+    unsafe { gf128_mul_inner(x, y) }
+}
+
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn ghash_fold_inner(y: u128, blocks: &[u128], powers: &[u128]) -> u128 {
+    let n = blocks.len();
+    debug_assert!(n >= 1 && n <= powers.len());
+    // Y_out = (Y_in ^ B_0)·H^n  ^  B_1·H^(n-1)  ^ … ^  B_{n-1}·H^1:
+    // every term is an independent clmul; one reduction at the end.
+    let mut acc = clmul256(load_elem(y ^ blocks[0]), load_elem(powers[n - 1]));
+    for (i, &b) in blocks.iter().enumerate().skip(1) {
+        let w = clmul256(load_elem(b), load_elem(powers[n - 1 - i]));
+        acc.hi = _mm_xor_si128(acc.hi, w.hi);
+        acc.lo = _mm_xor_si128(acc.lo, w.lo);
+    }
+    store_elem(shift_reduce(acc))
+}
+
+/// Aggregated GHASH fold: absorbs `blocks` into running digest `y` using
+/// the precomputed key powers `powers[j] = H^(j+1)`. Requires
+/// `1 <= blocks.len() <= powers.len()`; callers stride longer inputs.
+pub(crate) fn ghash_fold(y: u128, blocks: &[u128], powers: &[u128]) -> u128 {
+    debug_assert_supported();
+    unsafe { ghash_fold_inner(y, blocks, powers) }
+}
+
+#[target_feature(enable = "aes,pclmulqdq")]
+unsafe fn gmac_line_tag_inner(
+    round_keys: &[[u8; 16]; 11],
+    powers: &[u128],
+    j0: u128,
+    aad: [u8; 4],
+    data: &[u8; 64],
+) -> u128 {
+    // E_K(J0): straight-line AES rounds. Issued before the fold so the
+    // serial aesenc chain overlaps the independent clmuls in the
+    // out-of-order window.
+    let j0_bytes = j0.to_be_bytes();
+    let mut s = _mm_xor_si128(
+        _mm_loadu_si128(j0_bytes.as_ptr().cast()),
+        _mm_loadu_si128(round_keys[0].as_ptr().cast()),
+    );
+    for rk in &round_keys[1..10] {
+        s = _mm_aesenc_si128(s, _mm_loadu_si128(rk.as_ptr().cast()));
+    }
+    s = _mm_aesenclast_si128(s, _mm_loadu_si128(round_keys[10].as_ptr().cast()));
+
+    // GHASH of (4-byte AAD, 64-byte data): 1 AAD + 4 data + 1 length
+    // block, aggregated into a single reduction.
+    let aad_block = (u32::from_be_bytes(aad) as u128) << 96;
+    let mut acc = clmul256(load_elem(aad_block), load_elem(powers[5]));
+    for i in 0..4 {
+        let b = u128::from_be_bytes(data[16 * i..16 * i + 16].try_into().expect("16-byte chunk"));
+        let w = clmul256(load_elem(b), load_elem(powers[4 - i]));
+        acc.hi = _mm_xor_si128(acc.hi, w.hi);
+        acc.lo = _mm_xor_si128(acc.lo, w.lo);
+    }
+    let len_block = (32u128 << 64) | 512;
+    let w = clmul256(load_elem(len_block), load_elem(powers[0]));
+    acc.hi = _mm_xor_si128(acc.hi, w.hi);
+    acc.lo = _mm_xor_si128(acc.lo, w.lo);
+    let g = store_elem(shift_reduce(acc));
+
+    let mut ct = [0u8; 16];
+    _mm_storeu_si128(ct.as_mut_ptr().cast(), s);
+    g ^ u128::from_be_bytes(ct)
+}
+
+/// The full 128-bit GMAC line tag — `GHASH(aad, data) ^ E_K(J0)` — in one
+/// kernel call. Fusing the AES encryption and the aggregated fold keeps
+/// the whole tag inside a single `#[target_feature]` region: the two
+/// halves are independent, so the hardware overlaps them, and the call
+/// boundary (which cannot be inlined into non-target-feature callers) is
+/// paid once instead of twice. `powers` needs at least the six key powers
+/// a line tag consumes.
+pub(crate) fn gmac_line_tag(
+    round_keys: &[[u8; 16]; 11],
+    powers: &[u128],
+    j0: u128,
+    aad: [u8; 4],
+    data: &[u8; 64],
+) -> u128 {
+    debug_assert_supported();
+    debug_assert!(powers.len() >= 6);
+    unsafe { gmac_line_tag_inner(round_keys, powers, j0, aad, data) }
+}
+
+// ---------------------------------------------------------------------
+// GF(2^64) — Carter–Wegman hash field, normal bit order
+// ---------------------------------------------------------------------
+
+#[target_feature(enable = "pclmulqdq")]
+unsafe fn gf64_mul_inner(a: u64, b: u64) -> u64 {
+    // Low terms of x^64 + x^4 + x^3 + x + 1: x^64 ≡ 0x1B.
+    let poly = _mm_cvtsi64_si128(0x1B);
+    let p = _mm_clmulepi64_si128::<0x00>(_mm_cvtsi64_si128(a as i64), _mm_cvtsi64_si128(b as i64));
+    // Fold the high 64 bits down (degree ≤ 67 afterwards), then fold the
+    // ≤ 4-bit residue of that product — two clmuls finish the reduction.
+    let t = _mm_clmulepi64_si128::<0x01>(p, poly);
+    let t2 = _mm_clmulepi64_si128::<0x01>(t, poly);
+    _mm_cvtsi128_si64(_mm_xor_si128(_mm_xor_si128(p, t), t2)) as u64
+}
+
+/// GF(2^64) multiply (x^64 + x^4 + x^3 + x + 1) via PCLMULQDQ.
+pub(crate) fn gf64_mul(a: u64, b: u64) -> u64 {
+    debug_assert_supported();
+    unsafe { gf64_mul_inner(a, b) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+
+    fn skip() -> bool {
+        if Backend::simd_available() {
+            false
+        } else {
+            eprintln!("SKIP: host lacks AES-NI/PCLMULQDQ — simd kernel tests not run");
+            true
+        }
+    }
+
+    #[test]
+    fn keygenassist_schedule_matches_software_schedule() {
+        if skip() {
+            return;
+        }
+        for seed in 0u8..8 {
+            let mut key = [0u8; 16];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = seed.wrapping_mul(73).wrapping_add(29u8.wrapping_mul(i as u8));
+            }
+            let aes = crate::Aes128::with_backend(&key, Backend::Table);
+            assert_eq!(expand_key(&key), *aes.round_keys(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn gf128_matches_reference_on_fixed_points() {
+        if skip() {
+            return;
+        }
+        let xs = [
+            0u128,
+            1,
+            1 << 127,
+            u128::MAX,
+            0x66e94bd4ef8a2c3b_884cfa59ca342b2e,
+            0x0388dace60b6a392_f328c2b971b2fe78,
+        ];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(
+                    gf128_mul(a, b),
+                    crate::ghash::gf128_mul_reference(a, b),
+                    "a={a:032x} b={b:032x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gf64_matches_reference_on_fixed_points() {
+        if skip() {
+            return;
+        }
+        let xs = [0u64, 1, 2, 0x1B, u64::MAX, 0xdeadbeefcafef00d, 1 << 63];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(
+                    gf64_mul(a, b),
+                    crate::cw_mac::gf64_mul_reference(a, b),
+                    "a={a:016x} b={b:016x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ghash_fold_equals_horner() {
+        if skip() {
+            return;
+        }
+        let h = 0x66e94bd4ef8a2c3b_884cfa59ca342b2eu128;
+        let mut powers = [0u128; 8];
+        let mut p = h;
+        for slot in powers.iter_mut() {
+            *slot = p;
+            p = crate::ghash::gf128_mul_reference(p, h);
+        }
+        let blocks: Vec<u128> = (1..=8u128).map(|i| i * 0x0123_4567_89ab_cdef).collect();
+        for n in 1..=8 {
+            let folded = ghash_fold(0xfeed, &blocks[..n], &powers);
+            let mut y = 0xfeedu128;
+            for &b in &blocks[..n] {
+                y = crate::ghash::gf128_mul_reference(y ^ b, h);
+            }
+            assert_eq!(folded, y, "n={n}");
+        }
+    }
+}
