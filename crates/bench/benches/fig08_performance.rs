@@ -45,6 +45,13 @@ fn main() {
         let [base, sgx, syn] = triple else { unreachable!("cells pushed in triples") };
         let name = cell[0].workload_name();
         let is_mix = matches!(cell[0].workload, SweepWorkload::Mix(_));
+        // Conservation invariant, zero tolerance: in every cell, the
+        // attribution buckets must sum to the end-to-end request cycles.
+        for r in triple {
+            r.attrib
+                .verify()
+                .unwrap_or_else(|e| panic!("{} / {name}: {e}", r.design));
+        }
         metrics.add_run("sgx_o", name, base);
         metrics.add_run("sgx", name, sgx);
         metrics.add_run("synergy", name, syn);
@@ -98,4 +105,11 @@ fn main() {
     write_csv("fig08_performance", "workload,suite,sgx,sgx_o,synergy", &csv);
     metrics.add_registry("sweep", &report.registry(), &[]);
     metrics.write("fig08_performance");
+
+    // Perfetto-loadable trace of the last Synergy cell: the slowest
+    // request spans, one track each ("where did my cycles go", §13 of
+    // DESIGN.md).
+    if let Some(syn) = report.results.iter().rev().find(|r| r.design == "Synergy") {
+        write_chrome_trace("fig08_synergy", syn);
+    }
 }

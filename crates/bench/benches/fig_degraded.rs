@@ -64,10 +64,21 @@ fn main() {
     let mut metrics = MetricsSnapshot::new();
     let mut slowdowns: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
 
+    // Environment columns repeated on every CSV row so each row is
+    // self-describing: the active crypto work model and the host's CPU
+    // count (the wall-clock context the sweep timing ran under).
+    let crypto_mode = crypto_work().name();
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+
     for (pair, cell) in report.results.chunks(2).zip(cells.chunks(2)) {
         let [healthy, degraded] = pair else { unreachable!("cells pushed in pairs") };
         let workload = cell[0].workload_name();
         let design = cell[0].design.name;
+        for r in pair {
+            r.attrib
+                .verify()
+                .unwrap_or_else(|e| panic!("{design}/{workload}: {e}"));
+        }
         metrics.add_run(design, workload, healthy);
         metrics.add_run(&format!("{design}+failed"), workload, degraded);
 
@@ -90,7 +101,7 @@ fn main() {
             d.due_events.to_string(),
         ]);
         csv.push(format!(
-            "{workload},{design},{:.6},{:.6},{slowdown:.6},{},{},{},{},{}",
+            "{workload},{design},{:.6},{:.6},{slowdown:.6},{},{},{},{},{},{crypto_mode},{host_cpus}",
             healthy.ipc, degraded.ipc, d.detections, d.corrections, d.parity_reads, d.parity_hits, d.due_events
         ));
     }
@@ -119,12 +130,26 @@ fn main() {
     );
     write_csv(
         "fig_degraded",
-        "workload,design,healthy_ipc,degraded_ipc,slowdown,detections,corrections,parity_reads,parity_hits,due_events",
+        "workload,design,healthy_ipc,degraded_ipc,slowdown,detections,corrections,parity_reads,parity_hits,due_events,crypto_work,host_cpus",
         &csv,
     );
     metrics.add_registry("sweep", &report.registry(), &[]);
     crypto_work_comparison(&workloads, fail_cycle, &mut metrics);
     metrics.write("fig_degraded");
+    degraded_timeline_trace(&workloads[0], fail_cycle);
+}
+
+/// One extra epoch-sampled degraded Synergy run exported as a Perfetto
+/// trace: the stacked `attrib.cycles.*` counter chart shows the failure
+/// as a shift in the cycle budget (parity traffic and the diagnosis
+/// burst's crypto-work cycles appear at the injection point).
+fn degraded_timeline_trace(workload: &synergy_trace::WorkloadSpec, fail_cycle: u64) {
+    let faults = FaultSchedule::chip_failure_at(fail_cycle, FAILED_CHIP);
+    let r = run_workload_custom(DesignConfig::synergy(), workload, 2, faults, |cfg| {
+        cfg.telemetry.epoch_mem_cycles = 1_000;
+    });
+    r.attrib.verify().expect("degraded timeline run conserves attribution");
+    write_chrome_trace(&format!("fig_degraded_synergy_{}", workload.name), &r);
 }
 
 /// End-to-end host-throughput cost of the crypto work model: one MAC-heavy
@@ -145,12 +170,10 @@ fn crypto_work_comparison(
         w.name
     );
     let mut rows = Vec::new();
+    let mut csv = Vec::new();
     let mut baseline: Option<synergy_core::system::SimResult> = None;
-    for (mode, name) in [
-        (CryptoWorkMode::Off, "off"),
-        (CryptoWorkMode::PerLine, "per-line"),
-        (CryptoWorkMode::Batched, "batched"),
-    ] {
+    for mode in [CryptoWorkMode::Off, CryptoWorkMode::PerLine, CryptoWorkMode::Batched] {
+        let name = mode.name();
         let r = run_workload_custom(DesignConfig::synergy(), w, 2, faults.clone(), |cfg| {
             cfg.crypto_work = mode;
         });
@@ -167,10 +190,12 @@ fn crypto_work_comparison(
             verifies.to_string(),
             pads.to_string(),
         ]);
+        csv.push(format!("{name},{cps:.0},{verifies},{pads}"));
         metrics.add_registry(&format!("crypto_work_{name}"), &r.telemetry.registry, &[]);
         if baseline.is_none() {
             baseline = Some(r);
         }
     }
     print_table(&["crypto_work", "sim cycles/s", "verifies", "pads"], &rows);
+    write_csv("fig_degraded_crypto_work", "crypto_work,sim_cycles_per_sec,verifies,pads", &csv);
 }

@@ -1,0 +1,102 @@
+//! CI perf-regression gate.
+//!
+//! ```text
+//! perf_gate --check            # gate fresh metrics against baselines/
+//! perf_gate --bless            # copy fresh gated snapshots into baselines/
+//! perf_gate --check \
+//!   --baselines <dir> --metrics <dir>   # override either directory
+//! ```
+//!
+//! `--check` compares the gated snapshots (see
+//! [`synergy_bench::gate::GATED_SNAPSHOTS`]) freshly written under
+//! `target/experiments/metrics/` by the fig08/fig_degraded bench targets
+//! against the committed copies under `baselines/metrics/`, using the
+//! per-prefix tolerances of [`synergy_bench::gate::DEFAULT_RULES`]. Any
+//! violation prints one line and the process exits nonzero. `--bless`
+//! replaces the baselines with the fresh snapshots (run it after an
+//! intentional performance change, with the same scale env knobs CI uses).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use synergy_bench::gate::{gate_dirs, DEFAULT_RULES, GATED_SNAPSHOTS};
+use synergy_bench::metrics_dir;
+
+fn default_baselines_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../baselines/metrics")
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut bless = false;
+    let mut baselines = default_baselines_dir();
+    let mut metrics = metrics_dir();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--bless" => bless = true,
+            "--baselines" => {
+                baselines = PathBuf::from(args.next().expect("--baselines needs a path"));
+            }
+            "--metrics" => {
+                metrics = PathBuf::from(args.next().expect("--metrics needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_gate (--check | --bless) [--baselines DIR] [--metrics DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if check == bless {
+        eprintln!("pick exactly one of --check or --bless");
+        return ExitCode::from(2);
+    }
+
+    if bless {
+        std::fs::create_dir_all(&baselines).expect("can create baselines dir");
+        let mut copied = 0;
+        for file in GATED_SNAPSHOTS {
+            let src = metrics.join(file);
+            if !src.exists() {
+                eprintln!("[bless] {} missing — run its bench target first", src.display());
+                continue;
+            }
+            let dst = baselines.join(file);
+            std::fs::copy(&src, &dst).expect("can copy snapshot into baselines");
+            println!("[bless] {} -> {}", src.display(), dst.display());
+            copied += 1;
+        }
+        return if copied == GATED_SNAPSHOTS.len() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    match gate_dirs(&baselines, &metrics, DEFAULT_RULES) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "[perf-gate] OK — {} snapshot(s) within tolerance ({} vs {})",
+                GATED_SNAPSHOTS.len(),
+                metrics.display(),
+                baselines.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprintln!("[perf-gate] {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            eprintln!("[perf-gate] if intentional, re-bless with: cargo run --release -p synergy-bench --bin perf_gate -- --bless");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("[perf-gate] error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

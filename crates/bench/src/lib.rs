@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod sweep;
 
 pub use sweep::{parallel_map, run_sweep, sweep_threads, SweepCell, SweepReport, SweepWorkload};
@@ -46,7 +47,7 @@ use std::path::PathBuf;
 use synergy_core::system::{run, SimResult, SystemConfig};
 use synergy_dram::{DramConfig, RequestClass};
 use synergy_faultsim::FaultSchedule;
-use synergy_obs::{export, MetricRegistry, Span};
+use synergy_obs::{export, ChromeTrace, CycleAttribution, MetricRegistry, Span};
 use synergy_secure::{CryptoWorkMode, DesignConfig};
 use synergy_trace::{presets, MultiCoreTrace, WorkloadSpec};
 
@@ -218,10 +219,53 @@ pub fn metrics_dir() -> PathBuf {
     dir
 }
 
+/// Directory for Chrome-trace JSON documents
+/// (`target/experiments/trace/`).
+pub fn trace_dir() -> PathBuf {
+    let dir = experiments_dir().join("trace");
+    fs::create_dir_all(&dir).expect("can create target/experiments/trace");
+    dir
+}
+
+/// Writes a Perfetto-loadable Chrome trace of one run under
+/// [`trace_dir`]: the slowest request spans (one track each) plus the
+/// epoch-sampled attribution counters (stacked cycle-budget chart, when
+/// epoch sampling was enabled). Returns the written path.
+pub fn write_chrome_trace(name: &str, r: &SimResult) -> PathBuf {
+    let mut trace = ChromeTrace::new();
+    trace.process_name(1, &format!("synergy-sim {}", r.design));
+    for (i, span) in r.telemetry.slowest.iter().enumerate() {
+        trace.add_span(span, 1, i as u64 + 1);
+    }
+    trace.add_epoch_counters(
+        1,
+        "cycle budget (per epoch)",
+        r.telemetry.registry.epochs(),
+        "attrib.cycles.",
+    );
+    let path = trace_dir().join(format!("{name}.trace.json"));
+    export::write_file(&path, &trace.finish()).expect("can write chrome trace");
+    println!("[trace] {}", path.display());
+    path
+}
+
 #[derive(Default)]
 struct DesignMetrics {
     registry: MetricRegistry,
     slowest: Vec<Span>,
+    attrib: CycleAttribution,
+}
+
+impl DesignMetrics {
+    /// The stored registry with the aggregated attribution folded in.
+    fn full_registry(&self) -> MetricRegistry {
+        let mut reg = self.registry.clone();
+        if !self.attrib.is_empty() {
+            use synergy_obs::Observe as _;
+            self.attrib.observe("attrib", &mut reg);
+        }
+        reg
+    }
 }
 
 /// Cross-run telemetry accumulator for one bench target.
@@ -272,6 +316,7 @@ impl MetricsSnapshot {
         d.registry.set_gauge(&format!("ipc.{workload}"), r.ipc);
         d.registry.add_counter("spans.completed", r.telemetry.spans_completed);
         d.registry.add_counter("spans.dropped", r.telemetry.spans_dropped);
+        d.attrib.merge(&r.attrib);
         self.merge_spans(design, &r.telemetry.slowest);
     }
 
@@ -300,7 +345,7 @@ impl MetricsSnapshot {
                 format!(
                     "\"{}\":{{\"telemetry\":{},\"slowest_spans\":{}}}",
                     export::json_escape(name),
-                    export::registry_to_json(&d.registry),
+                    export::registry_to_json(&d.full_registry()),
                     export::spans_to_json(&d.slowest)
                 )
             })
@@ -320,8 +365,13 @@ impl MetricsSnapshot {
                 .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
                 .collect();
             let csv_path = dir.join(format!("{name}.{safe}.csv"));
-            export::write_file(&csv_path, &export::registry_to_csv(&d.registry))
+            export::write_file(&csv_path, &export::registry_to_csv(&d.full_registry()))
                 .expect("can write metrics CSV");
+            if !d.attrib.is_empty() {
+                let attrib_path = dir.join(format!("{name}.{safe}.attrib.csv"));
+                export::write_file(&attrib_path, &d.attrib.to_csv())
+                    .expect("can write attribution CSV");
+            }
         }
         println!("[metrics] {}", json_path.display());
         json_path

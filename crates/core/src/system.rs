@@ -33,7 +33,9 @@ use synergy_dram::{
     AccessKind, DramConfig, EnergyBreakdown, MemorySystem, Request, RequestClass,
 };
 use synergy_faultsim::FaultSchedule;
-use synergy_obs::{MetricRegistry, Observe, Span, SpanPhase, SpanTracer};
+use synergy_obs::{
+    AttribBucket, CycleAttribution, MetricRegistry, Observe, Span, SpanPhase, SpanTracer,
+};
 use synergy_secure::layout::Region;
 use synergy_secure::{CryptoEngine, CryptoWorkMode, DesignConfig, SecureEngine};
 use synergy_trace::{MultiCoreTrace, TraceRecord};
@@ -157,11 +159,16 @@ pub struct TelemetryConfig {
     pub trace_spans: bool,
     /// How many slowest requests to retain with per-phase breakdowns.
     pub top_k: usize,
+    /// Whether to attribute every cycle of request latency to a
+    /// [`AttribBucket`] (fixed per-completion cost; no allocation on the
+    /// hot path). Attribution never feeds back into simulated timing, so
+    /// toggling it leaves every other [`SimResult`] field byte-identical.
+    pub attribution: bool,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        Self { epoch_mem_cycles: 0, trace_spans: true, top_k: 16 }
+        Self { epoch_mem_cycles: 0, trace_spans: true, top_k: 16, attribution: true }
     }
 }
 
@@ -251,6 +258,11 @@ pub struct SimResult {
     /// Telemetry gathered during the run (metric registry, epoch
     /// time-series, slowest-request spans).
     pub telemetry: Telemetry,
+    /// Cycle attribution: every cycle of read latency charged to exactly
+    /// one bucket per request class, conserving end-to-end latency
+    /// ([`CycleAttribution::verify`]). Empty when
+    /// [`TelemetryConfig::attribution`] is off.
+    pub attrib: CycleAttribution,
 }
 
 /// Telemetry attached to a [`SimResult`].
@@ -263,8 +275,6 @@ pub struct Telemetry {
     /// The slowest traced requests, descending by latency, with
     /// per-phase cycle breakdowns.
     pub slowest: Vec<Span>,
-    /// Recently completed request spans, oldest first.
-    pub recent: Vec<Span>,
     /// Spans completed by the tracer.
     pub spans_completed: u64,
     /// Spans dropped because the tracer's open table was full.
@@ -379,10 +389,26 @@ struct MemSide {
     /// Optional crypto work model — real MAC/pad computations mirroring
     /// the modeled traffic, drained once per tick.
     crypto: Option<CryptoEngine>,
+    /// Cycle attribution ledger (one row per [`RequestClass`]).
+    attrib: CycleAttribution,
+    /// Whether attribution hooks record anything.
+    attrib_on: bool,
+    /// Request id → cycle `push_request` accepted it; the completion hook
+    /// telescopes push→enqueue→bank-ready→issue→complete into buckets.
+    push_cycle: HashMap<u64, u64>,
+    /// DDR timing (copied out of the DRAM config so the completion loop
+    /// can consult refresh geometry without re-borrowing the system).
+    timing: synergy_dram::TimingParams,
 }
 
 impl MemSide {
-    fn new(dram: MemorySystem, tracer: SpanTracer, crypto: Option<CryptoEngine>) -> Self {
+    fn new(
+        dram: MemorySystem,
+        tracer: SpanTracer,
+        crypto: Option<CryptoEngine>,
+        attrib_on: bool,
+    ) -> Self {
+        let timing = dram.config().timing;
         Self {
             dram,
             deferred: VecDeque::new(),
@@ -391,6 +417,34 @@ impl MemSide {
             tracer,
             completions: Vec::with_capacity(64),
             crypto,
+            attrib: CycleAttribution::new(&RequestClass::ALL.map(|c| c.name())),
+            attrib_on,
+            push_cycle: HashMap::new(),
+            timing,
+        }
+    }
+
+    /// The attribution ledger, if enabled (for publication).
+    fn attribution(&self) -> Option<&CycleAttribution> {
+        self.attrib_on.then_some(&self.attrib)
+    }
+
+    /// Charges an LLC hit's fixed latency to the `LlcHit` bucket.
+    fn note_llc_hit(&mut self, latency: u64) {
+        if self.attrib_on {
+            let class = RequestClass::Data.index();
+            self.attrib.record(class, AttribBucket::LlcHit, latency);
+            self.attrib.close_request(class, latency);
+        }
+    }
+
+    /// Charges an on-controller crypto stall (e.g. the §III-B ≤9-MAC
+    /// diagnosis burst) to the `CryptoWork` bucket.
+    fn note_crypto_stall(&mut self, cycles: u64) {
+        if self.attrib_on {
+            let class = RequestClass::Data.index();
+            self.attrib.record(class, AttribBucket::CryptoWork, cycles);
+            self.attrib.close_request(class, cycles);
         }
     }
 
@@ -404,6 +458,26 @@ impl MemSide {
             self.tracer
                 .event(completion.id, SpanPhase::DramIssue, completion.issue_cycle);
             self.tracer.complete(completion.id, cycle);
+            if let Some(push) = self.push_cycle.remove(&completion.id) {
+                // Telescoping decomposition push → enqueue → bank-ready →
+                // issue → complete: every cycle lands in exactly one
+                // bucket, so the ledger conserves end-to-end latency by
+                // construction (zero tolerance — see tests/attribution.rs).
+                let class = completion.class.index();
+                let enq = completion.enqueue_cycle.max(push);
+                let ready = completion.bank_ready_cycle.clamp(enq, completion.issue_cycle);
+                let issue = completion.issue_cycle.max(ready).min(cycle);
+                let refresh = self.timing.refresh_overlap(enq, ready);
+                self.attrib.record(
+                    class,
+                    AttribBucket::QueueWait,
+                    (enq - push) + (issue - ready),
+                );
+                self.attrib.record(class, AttribBucket::RefreshStall, refresh);
+                self.attrib.record(class, AttribBucket::BankBusy, (ready - enq) - refresh);
+                self.attrib.record(class, AttribBucket::BusTransfer, cycle - issue);
+                self.attrib.close_request(class, cycle - push);
+            }
             if let Some((core, pos)) = self.load_map.remove(&completion.id) {
                 cores[core].mark_progress(pos);
             }
@@ -451,7 +525,10 @@ impl MemSide {
         }
         if spec.kind == AccessKind::Read {
             // Writes are posted (no completion event to close the span),
-            // so only reads are traced.
+            // so only reads are traced and attributed.
+            if self.attrib_on {
+                self.push_cycle.insert(id, cycle);
+            }
             self.tracer
                 .start(id, spec.addr, spec.class.name(), SpanPhase::LlcMiss, cycle);
             self.tracer.event(id, SpanPhase::EngineExpand, cycle);
@@ -549,7 +626,11 @@ fn publish_components(
     dram: &synergy_dram::DramStats,
     llc: &synergy_cache::CacheStats,
     engine: &SecureEngine,
+    attrib: Option<&CycleAttribution>,
 ) {
+    if let Some(attrib) = attrib {
+        attrib.observe("attrib", registry);
+    }
     dram.observe("dram", registry);
     llc.observe("llc", registry);
     engine.stats().observe("secure.engine", registry);
@@ -601,11 +682,16 @@ pub fn run(
 
     let mut cores: Vec<Core> = (0..cfg.cores).map(|_| Core::new(instructions_per_core)).collect();
     let tracer = if cfg.telemetry.trace_spans {
-        SpanTracer::new(4096, 256, cfg.telemetry.top_k)
+        SpanTracer::new(4096, cfg.telemetry.top_k)
     } else {
         SpanTracer::disabled()
     };
-    let mut mem = MemSide::new(dram, tracer, CryptoEngine::new(cfg.crypto_work));
+    let mut mem = MemSide::new(
+        dram,
+        tracer,
+        CryptoEngine::new(cfg.crypto_work),
+        cfg.telemetry.attribution,
+    );
     let mut registry = MetricRegistry::new();
     let wall = synergy_obs::Stopwatch::start();
     let mut ff_jumps: u64 = 0;
@@ -677,7 +763,13 @@ pub fn run(
         // time-series.
         let epoch = cfg.telemetry.epoch_mem_cycles;
         if epoch > 0 && mem_cycle.is_multiple_of(epoch) {
-            publish_components(&mut registry, mem.dram.stats(), llc.stats(), &engine);
+            publish_components(
+                &mut registry,
+                mem.dram.stats(),
+                llc.stats(),
+                &engine,
+                mem.attribution(),
+            );
             registry.sample_epoch(mem_cycle);
         }
         if mem_cycle > max_mem_cycles {
@@ -756,7 +848,7 @@ pub fn run(
 
     // Final metric publication, plus the system-level metrics only this
     // layer knows.
-    publish_components(&mut registry, &stats, llc.stats(), &engine);
+    publish_components(&mut registry, &stats, llc.stats(), &engine, mem.attribution());
     registry.set_counter("core.system.instructions", total_insts);
     registry.set_counter("core.system.mem_cycles", mem_cycle);
     registry.set_gauge("core.system.ipc", ipc);
@@ -784,9 +876,14 @@ pub fn run(
     registry.set_counter("sim.ff_jumps", ff_jumps);
     registry.set_counter("sim.ff_skipped_cycles", ff_skipped_cycles);
     registry.set_counter("sim.issue_scan_skips", mem.dram.scan_skips());
+    mem.tracer.observe("span", &mut registry);
+    debug_assert!(
+        mem.attrib.verify().is_ok(),
+        "cycle-attribution conservation violated: {}",
+        mem.attrib.verify().unwrap_err()
+    );
     let telemetry = Telemetry {
         slowest: mem.tracer.slowest(cfg.telemetry.top_k),
-        recent: mem.tracer.recent().cloned().collect(),
         spans_completed: mem.tracer.completed(),
         spans_dropped: mem.tracer.dropped(),
         registry,
@@ -808,6 +905,7 @@ pub fn run(
         metadata_cache: *engine.metadata_cache_stats(),
         llc: *llc.stats(),
         telemetry,
+        attrib: if mem.attrib_on { mem.attrib } else { CycleAttribution::default() },
     })
 }
 
@@ -892,6 +990,7 @@ fn step_core(
             if llc.read(addr) {
                 core.loads.push_back(OutstandingLoad { pos, remaining: 1 });
                 core.llc_hits.push((mem_cycle + cfg.llc_hit_latency, pos));
+                mem.note_llc_hit(cfg.llc_hit_latency);
             } else {
                 let (ids, diagnosis) = issue_load_miss(addr, engine, llc, mem, mem_cycle);
                 let mut remaining = ids.len() as u32;
@@ -906,6 +1005,7 @@ fn step_core(
                     if delay > 0 {
                         remaining += 1;
                         core.llc_hits.push((mem_cycle + delay, pos));
+                        mem.note_crypto_stall(delay);
                     }
                     if let Some(crypto) = &mut mem.crypto {
                         // The burst's candidate-reconstruction MACs are
@@ -1206,28 +1306,44 @@ mod tests {
         for pair in t.slowest.windows(2) {
             assert!(pair[0].total_latency() >= pair[1].total_latency());
         }
-        let spans: Vec<_> = t.slowest.iter().chain(t.recent.iter()).collect();
-        let metadata_span = spans
+        let metadata_span = t
+            .slowest
             .iter()
             .find(|s| s.label != "data")
-            .expect("at least one Synergy metadata access traced");
+            .expect("at least one Synergy metadata access among the slowest spans");
         assert!(metadata_span.cycle_of(SpanPhase::MetaCacheProbe).is_some());
         assert!(metadata_span.cycle_of(SpanPhase::DramIssue).is_some());
         assert!(metadata_span.cycle_of(SpanPhase::Complete).is_some());
         assert!(!metadata_span.phase_durations().is_empty());
         assert!(metadata_span.total_latency() > 0);
         // Cycles within a span never decrease.
-        for s in &spans {
+        for s in &t.slowest {
             for pair in s.events.windows(2) {
                 assert!(pair[0].1 <= pair[1].1, "events out of order: {s:?}");
             }
         }
+        // Every completed span — including the ones evicted from the
+        // top-K — folded into the registry's per-phase histograms.
+        let issue_wait = t.registry.get_histogram("span.phase_cycles.dram_issue").unwrap();
+        assert!(issue_wait.count() > 0);
+        assert_eq!(t.registry.counter("span.completed"), Some(t.spans_completed));
         // The registry carries the per-class DRAM latency histograms.
         let h = t.registry.get_histogram("dram.read_latency.counter").unwrap();
         assert!(h.count() > 0);
         assert!(h.percentile(99.0) >= h.percentile(50.0));
         assert_eq!(t.registry.counter("dram.reads.counter"), Some(r.dram.reads(RequestClass::Counter)));
         assert!(t.registry.counter("secure.engine.counter_misses").unwrap() > 0);
+
+        // Cycle attribution conserves end-to-end latency exactly, covers
+        // every traced class, and lands in the registry.
+        r.attrib.verify().unwrap();
+        assert!(r.attrib.total_requests() > 0);
+        let counter_row = r.attrib.class_cycles(RequestClass::Counter.index());
+        assert!(counter_row > 0, "counter reads must be attributed");
+        assert_eq!(
+            t.registry.counter("attrib.total_cycles"),
+            Some(r.attrib.total_cycles())
+        );
     }
 
     #[test]

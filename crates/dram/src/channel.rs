@@ -45,6 +45,12 @@ struct Queued {
     req: Request,
     loc: DramLocation,
     enqueue_cycle: u64,
+    /// When the row serving this request became usable: stamped at
+    /// enqueue if the row was already open, at ACT completion otherwise;
+    /// cleared when a precharge or refresh closes the row again. Pure
+    /// bookkeeping for cycle attribution — never consulted by the
+    /// scheduler.
+    bank_ready: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +61,8 @@ struct PendingCompletion {
     class: crate::request::RequestClass,
     latency: u64,
     issue_cycle: u64,
+    enqueue_cycle: u64,
+    bank_ready_cycle: u64,
 }
 
 /// A command the FR-FCFS scan found issueable this cycle.
@@ -129,7 +137,11 @@ impl Channel {
     }
 
     pub(crate) fn enqueue(&mut self, req: Request, loc: DramLocation, cycle: u64) {
-        let q = Queued { req, loc, enqueue_cycle: cycle };
+        // Attribution bookkeeping: a request arriving to an already-open
+        // row never waits on the bank at all.
+        let bank = &self.banks[loc.rank][loc.bank];
+        let bank_ready = (bank.open_row == Some(loc.row)).then_some(cycle);
+        let q = Queued { req, loc, enqueue_cycle: cycle, bank_ready };
         match req.kind {
             AccessKind::Read => self.read_q.push_back(q),
             AccessKind::Write => self.write_q.push_back(q),
@@ -186,6 +198,8 @@ impl Channel {
                     class: p.class,
                     latency: p.latency,
                     issue_cycle: p.issue_cycle,
+                    enqueue_cycle: p.enqueue_cycle,
+                    bank_ready_cycle: p.bank_ready_cycle,
                 });
             } else {
                 i += 1;
@@ -222,6 +236,11 @@ impl Channel {
                 for bank in &mut self.banks[r] {
                     bank.open_row = None;
                     bank.ready_act = bank.ready_act.max(cycle + t.t_rfc);
+                }
+                // Attribution: every waiter in the rank must reacquire its
+                // row after the refresh window.
+                for q in self.read_q.iter_mut().filter(|q| q.loc.rank == r) {
+                    q.bank_ready = None;
                 }
                 rank.next_refresh += t.t_refi;
                 stats.refreshes += 1;
@@ -458,6 +477,14 @@ impl Channel {
             rank.act_window.pop_front();
         }
         stats.activates += 1;
+        // Attribution: every unstamped waiter on this row gets its row at
+        // tRCD after the activate.
+        let ready = cycle + t.t_rcd;
+        for q in self.read_q.iter_mut().filter(|q| {
+            q.loc.rank == loc.rank && q.loc.bank == loc.bank && q.loc.row == loc.row
+        }) {
+            q.bank_ready.get_or_insert(ready);
+        }
     }
 
     fn issue_pre(&mut self, cycle: u64, t: &TimingParams, stats: &mut DramStats, loc: DramLocation) {
@@ -466,6 +493,13 @@ impl Channel {
         bank.open_row = None;
         bank.ready_act = bank.ready_act.max(cycle + t.t_rp);
         stats.precharges += 1;
+        // Attribution: waiters on this bank lose their open row (a stamped
+        // waiter on the *closed* row goes back to waiting on the bank; a
+        // waiter on another row never had a stamp).
+        for q in self.read_q.iter_mut().filter(|q| q.loc.rank == loc.rank && q.loc.bank == loc.bank)
+        {
+            q.bank_ready = None;
+        }
     }
 
     fn issue_col_command(
@@ -489,6 +523,12 @@ impl Channel {
                 let done = cycle + t.t_cas + t.t_burst;
                 bank.ready_pre = bank.ready_pre.max(cycle + t.t_rtp);
                 self.bus_free_at = done;
+                // An unstamped request here means its ACT predates the
+                // stamping bookkeeping (can't happen via `enqueue`/
+                // `issue_act`, but be defensive); clamp keeps the
+                // enqueue ≤ bank_ready ≤ issue invariant unconditional.
+                let bank_ready =
+                    q.bank_ready.unwrap_or(cycle).clamp(q.enqueue_cycle, cycle);
                 self.pending.push(PendingCompletion {
                     at: done,
                     id: q.req.id,
@@ -496,6 +536,8 @@ impl Channel {
                     class: q.req.class,
                     latency: done - q.enqueue_cycle,
                     issue_cycle: cycle,
+                    enqueue_cycle: q.enqueue_cycle,
+                    bank_ready_cycle: bank_ready,
                 });
                 stats.record_read(q.req.class, done - q.enqueue_cycle);
             }

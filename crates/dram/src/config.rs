@@ -80,6 +80,36 @@ impl Default for TimingParams {
     }
 }
 
+impl TimingParams {
+    /// Cycles of `[from, to)` that fall inside a refresh window.
+    ///
+    /// Refresh fires at exactly `k·t_refi` for `k ≥ 1` (every rank
+    /// initializes `next_refresh = t_refi` and advances it by `t_refi`
+    /// per fire; the fast-forward path never skips a deadline), locking
+    /// the rank for the `[k·t_refi, k·t_refi + t_rfc)` window. Cycle
+    /// attribution uses this to split a request's bank wait into
+    /// refresh-stall vs genuine precharge/activate serialization.
+    pub fn refresh_overlap(&self, from: u64, to: u64) -> u64 {
+        if self.t_refi == 0 || to <= from {
+            return 0;
+        }
+        // First candidate window that could reach past `from`.
+        let mut k = (from.saturating_sub(self.t_rfc) / self.t_refi).max(1);
+        let mut total = 0;
+        while k * self.t_refi < to {
+            let start = k * self.t_refi;
+            let end = start + self.t_rfc;
+            let lo = start.max(from);
+            let hi = end.min(to);
+            if hi > lo {
+                total += hi - lo;
+            }
+            k += 1;
+        }
+        total
+    }
+}
+
 /// Current-based DRAM energy parameters, Micron-power-model style, expressed
 /// as energy-per-event for a whole rank (9-chip x8 ECC-DIMM).
 ///
@@ -243,6 +273,30 @@ mod tests {
         let mut cfg = DramConfig::default();
         cfg.line_bytes = 48;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn refresh_overlap_clips_windows_to_the_interval() {
+        let t = TimingParams { t_refi: 100, t_rfc: 10, ..TimingParams::default() };
+        // Entirely before the first window (refresh never fires at k=0).
+        assert_eq!(t.refresh_overlap(0, 100), 0);
+        // Covers the first window exactly.
+        assert_eq!(t.refresh_overlap(100, 110), 10);
+        // Partial overlap on each side.
+        assert_eq!(t.refresh_overlap(95, 105), 5);
+        assert_eq!(t.refresh_overlap(105, 300), 5 + 10);
+        // Interval inside a window.
+        assert_eq!(t.refresh_overlap(102, 106), 4);
+        // Spanning several windows.
+        assert_eq!(t.refresh_overlap(0, 1000), 9 * 10);
+        // Large offsets don't iterate from k=1 (would be slow) and stay
+        // exact.
+        assert_eq!(t.refresh_overlap(1_000_000_095, 1_000_000_205), 10 + 5);
+        // Degenerate cases.
+        assert_eq!(t.refresh_overlap(50, 50), 0);
+        assert_eq!(t.refresh_overlap(60, 40), 0);
+        let off = TimingParams { t_refi: 0, ..TimingParams::default() };
+        assert_eq!(off.refresh_overlap(0, 10_000), 0);
     }
 
     #[test]

@@ -97,6 +97,15 @@ pub struct Completion {
     /// Cycle the column command issued (data went on the bus) — lets
     /// request tracing split queueing delay from service time.
     pub issue_cycle: u64,
+    /// Cycle the request entered the controller queue.
+    pub enqueue_cycle: u64,
+    /// Cycle the serving row became usable for this request: the end of
+    /// the activation that opened it (or the enqueue cycle when the row
+    /// was already open), clamped into `[enqueue_cycle, issue_cycle]`.
+    /// Cycle attribution splits the pre-issue wait at this point: before
+    /// it the request waited on the bank (precharge/activate/refresh),
+    /// after it on the scheduler (FR-FCFS queueing, tCCD, the data bus).
+    pub bank_ready_cycle: u64,
 }
 
 #[cfg(test)]

@@ -41,6 +41,49 @@ pub fn json_f64(v: f64) -> String {
     }
 }
 
+/// Quotes a CSV field per RFC 4180 when it needs it: fields containing a
+/// comma, double quote, or newline are wrapped in quotes with embedded
+/// quotes doubled; all other fields pass through unchanged.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits one CSV record into fields, honoring RFC 4180 quoting — the
+/// inverse of [`csv_escape`] applied per field. Unbalanced quotes consume
+/// to end of line (lenient, like most readers).
+pub fn csv_split(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
 /// Renders a histogram as a JSON object with summary quantiles and the
 /// non-empty buckets (`[lo, hi, count]` triples).
 pub fn histogram_to_json(h: &LogHistogram) -> String {
@@ -140,6 +183,7 @@ pub fn spans_to_json(spans: &[Span]) -> String {
 pub fn registry_to_csv(reg: &MetricRegistry) -> String {
     let mut out = String::from("metric,kind,value,count,sum,min,p50,p90,p99,max\n");
     for (name, m) in reg.iter() {
+        let name = csv_escape(name);
         match m {
             Metric::Counter(v) => {
                 let _ = writeln!(out, "{name},counter,{v},,,,,,,");
@@ -174,7 +218,7 @@ pub fn epochs_to_csv(reg: &MetricRegistry) -> String {
     names.sort_unstable();
     let mut out = String::from("cycle");
     for n in &names {
-        let _ = write!(out, ",{n}");
+        let _ = write!(out, ",{}", csv_escape(n));
     }
     out.push('\n');
     for e in reg.epochs() {
@@ -281,6 +325,51 @@ mod tests {
         assert_eq!(lines[0], "cycle,a,b");
         assert_eq!(lines[1], "10,1,");
         assert_eq!(lines[2], "20,1,2");
+    }
+
+    #[test]
+    fn csv_quoting_round_trips_awkward_metric_names() {
+        // Names with commas, quotes and both — e.g. a metric keyed by a
+        // human-written workload label.
+        let names = [
+            "plain",
+            "ipc.mix(mcf,lbm)",
+            "note,with,commas",
+            "say \"hi\"",
+            "both, \"quoted\"",
+        ];
+        for n in names {
+            let fields = csv_split(&format!("{},counter", csv_escape(n)));
+            assert_eq!(fields, vec![n.to_string(), "counter".to_string()], "field {n:?}");
+        }
+
+        // Whole-registry round trip: every data row parses back to
+        // exactly 10 columns with the original name in column 0.
+        let mut r = MetricRegistry::new();
+        for n in names {
+            r.set_counter(n, 1);
+        }
+        let csv = registry_to_csv(&r);
+        let mut seen: Vec<String> = csv
+            .lines()
+            .skip(1)
+            .map(|line| {
+                let fields = csv_split(line);
+                assert_eq!(fields.len(), 10, "row {line:?}");
+                fields[0].clone()
+            })
+            .collect();
+        seen.sort();
+        let mut expect: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        expect.sort();
+        assert_eq!(seen, expect);
+
+        // Epoch CSV headers get the same treatment.
+        r.sample_epoch(5);
+        let wide = epochs_to_csv(&r);
+        let header = csv_split(wide.lines().next().unwrap());
+        assert_eq!(header[0], "cycle");
+        assert!(header.iter().any(|h| h == "note,with,commas"), "{header:?}");
     }
 
     #[test]

@@ -15,23 +15,37 @@
 //! * [`SpanTracer`] — bounded request-lifecycle tracing (LLC miss →
 //!   engine expansion → metadata-cache probe → DRAM enqueue → issue →
 //!   complete) that retains the K slowest requests with per-phase
-//!   breakdowns.
+//!   breakdowns, folding every completed span into per-phase duration
+//!   histograms.
+//! * [`CycleAttribution`] — per-request-class × per-bucket cycle
+//!   accounting ("where did my cycles go") with a zero-tolerance
+//!   conservation invariant: buckets sum to end-to-end latency.
+//! * [`ChromeTrace`] — `chrome://tracing` / Perfetto JSON export of span
+//!   lifecycles and epoch-sampled attribution counters.
 //! * [`export`] — hand-rolled JSON/CSV snapshot serialization used by the
 //!   fig0x bench targets and the `calibrate` / `debug_probe` bins, written
 //!   under `target/experiments/metrics/`.
+//! * [`Json`] — a matching minimal JSON reader, enough to re-read the
+//!   crate's own exports (round-trip tests, the `perf_gate` bin).
 //! * [`Stopwatch`] — wall-clock timing for simulator-throughput gauges
 //!   (`sim.cycles_per_sec`); never feeds back into simulated behaviour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod export;
 pub mod hist;
+pub mod json;
 pub mod registry;
 pub mod span;
 pub mod stopwatch;
+pub mod trace_export;
 
+pub use attrib::{AttribBucket, CycleAttribution};
 pub use hist::{HistogramSummary, LogHistogram};
+pub use json::Json;
 pub use registry::{metric_name, EpochSample, Metric, MetricRegistry, Observe};
 pub use span::{Span, SpanPhase, SpanTracer};
 pub use stopwatch::Stopwatch;
+pub use trace_export::ChromeTrace;

@@ -4,12 +4,20 @@
 //! simulation pipeline — LLC miss, secure-engine expansion, metadata-cache
 //! probe, DRAM enqueue, DRAM issue, completion — with a cycle timestamp per
 //! phase. Storage is strictly bounded: a fixed-capacity table of open
-//! spans, a ring buffer of recently completed spans, and a top-K set of the
-//! slowest requests seen so far. When the open table is full, new requests
-//! are counted as dropped rather than tracked, so tracing cost stays O(1)
-//! per event regardless of run length.
+//! spans plus a top-K set of the slowest requests seen so far. When the
+//! open table is full, new requests are counted as dropped rather than
+//! tracked, so tracing cost stays O(1) per event regardless of run length.
+//!
+//! Individual spans that don't rank among the slowest are not retained,
+//! but their shape survives: at [`SpanTracer::complete`] time every span's
+//! per-phase durations and end-to-end latency are folded into
+//! [`LogHistogram`]s, so phase latency *distributions* cover the whole
+//! run even though only K exemplar spans are kept.
 
 use std::collections::HashMap;
+
+use crate::hist::LogHistogram;
+use crate::registry::{metric_name, MetricRegistry, Observe};
 
 /// Lifecycle phases of a traced request, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +46,18 @@ impl SpanPhase {
         SpanPhase::DramIssue,
         SpanPhase::Complete,
     ];
+
+    /// Dense index, matching the position in [`SpanPhase::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            SpanPhase::LlcMiss => 0,
+            SpanPhase::EngineExpand => 1,
+            SpanPhase::MetaCacheProbe => 2,
+            SpanPhase::DramEnqueue => 3,
+            SpanPhase::DramIssue => 4,
+            SpanPhase::Complete => 5,
+        }
+    }
 
     /// Stable lowercase name for export.
     pub const fn name(self) -> &'static str {
@@ -106,31 +126,34 @@ impl Span {
     }
 }
 
-/// Bounded tracer: open-span table + completed ring + top-K slowest.
+/// Bounded tracer: open-span table + top-K slowest + phase histograms.
 #[derive(Debug, Clone, Default)]
 pub struct SpanTracer {
     open: HashMap<u64, Span>,
     open_capacity: usize,
-    recent: std::collections::VecDeque<Span>,
-    recent_capacity: usize,
     /// Slowest completed spans, ascending by latency, len ≤ `top_k`.
     slowest: Vec<Span>,
     top_k: usize,
+    /// Duration-in-phase distribution per [`SpanPhase`], folded at
+    /// `complete()` time over *every* completed span.
+    phase_cycles: [LogHistogram; SpanPhase::ALL.len()],
+    /// End-to-end latency distribution over every completed span.
+    latency: LogHistogram,
     started: u64,
     completed: u64,
     dropped: u64,
 }
 
 impl SpanTracer {
-    /// A tracer with the given open-table, ring and top-K capacities.
-    pub fn new(open_capacity: usize, recent_capacity: usize, top_k: usize) -> Self {
+    /// A tracer with the given open-table and top-K capacities.
+    pub fn new(open_capacity: usize, top_k: usize) -> Self {
         Self {
             open: HashMap::with_capacity(open_capacity.min(4096)),
             open_capacity,
-            recent: std::collections::VecDeque::with_capacity(recent_capacity.min(4096)),
-            recent_capacity,
             slowest: Vec::with_capacity(top_k.min(256)),
             top_k,
+            phase_cycles: core::array::from_fn(|_| LogHistogram::new()),
+            latency: LogHistogram::new(),
             started: 0,
             completed: 0,
             dropped: 0,
@@ -138,14 +161,14 @@ impl SpanTracer {
     }
 
     /// A tracer sized for system-simulation use: 4096 concurrent requests,
-    /// 256-entry ring, top-16 slowest.
+    /// top-16 slowest.
     pub fn for_system() -> Self {
-        Self::new(4096, 256, 16)
+        Self::new(4096, 16)
     }
 
     /// A disabled tracer: drops every request at `start`.
     pub fn disabled() -> Self {
-        Self::new(0, 0, 0)
+        Self::new(0, 0)
     }
 
     /// Opens a span for request `id`, recording its first phase event.
@@ -167,29 +190,31 @@ impl SpanTracer {
         }
     }
 
-    /// Completes request `id`'s span: records the final event, moves the
-    /// span into the ring, and keeps it if it ranks among the slowest.
+    /// Completes request `id`'s span: records the final event, folds the
+    /// span's phase durations and latency into the histograms, and keeps
+    /// the span itself if it ranks among the slowest.
     pub fn complete(&mut self, id: u64, cycle: u64) {
         let Some(mut span) = self.open.remove(&id) else { return };
         span.events.push((SpanPhase::Complete, cycle));
         self.completed += 1;
 
-        if self.top_k > 0 {
-            let lat = span.total_latency();
-            if self.slowest.len() < self.top_k {
-                self.slowest.push(span.clone());
-                self.slowest.sort_by_key(Span::total_latency);
-            } else if lat > self.slowest[0].total_latency() {
-                self.slowest[0] = span.clone();
-                self.slowest.sort_by_key(Span::total_latency);
-            }
+        let lat = span.total_latency();
+        self.latency.record(lat);
+        let durations = span.phase_durations();
+        // The terminal event's duration is 0 by construction; skip it so
+        // the `complete` histogram doesn't fill with tautological zeros.
+        for &(phase, d) in durations.iter().take(durations.len().saturating_sub(1)) {
+            self.phase_cycles[phase.index()].record(d);
         }
 
-        if self.recent_capacity > 0 {
-            if self.recent.len() >= self.recent_capacity {
-                self.recent.pop_front();
+        if self.top_k > 0 {
+            if self.slowest.len() < self.top_k {
+                self.slowest.push(span);
+                self.slowest.sort_by_key(Span::total_latency);
+            } else if lat > self.slowest[0].total_latency() {
+                self.slowest[0] = span;
+                self.slowest.sort_by_key(Span::total_latency);
             }
-            self.recent.push_back(span);
         }
     }
 
@@ -200,9 +225,15 @@ impl SpanTracer {
         out
     }
 
-    /// Recently completed spans, oldest first.
-    pub fn recent(&self) -> impl Iterator<Item = &Span> {
-        self.recent.iter()
+    /// Duration-in-phase distribution for one phase, over every span
+    /// completed so far (not just the retained top-K).
+    pub fn phase_histogram(&self, phase: SpanPhase) -> &LogHistogram {
+        &self.phase_cycles[phase.index()]
+    }
+
+    /// End-to-end latency distribution over every completed span.
+    pub fn latency_histogram(&self) -> &LogHistogram {
+        &self.latency
     }
 
     /// Spans opened (including ones dropped for capacity).
@@ -223,6 +254,25 @@ impl SpanTracer {
     /// Currently open (started, not yet completed) spans.
     pub fn open_len(&self) -> usize {
         self.open.len()
+    }
+}
+
+impl Observe for SpanTracer {
+    /// Publishes `<prefix>.phase_cycles.<phase>` and `<prefix>.latency`
+    /// histograms plus the started/completed/dropped counters.
+    fn observe(&self, prefix: &str, registry: &mut MetricRegistry) {
+        for phase in SpanPhase::ALL {
+            let h = self.phase_histogram(phase);
+            if h.count() > 0 {
+                registry.set_histogram(&metric_name(prefix, &format!("phase_cycles.{phase}")), h);
+            }
+        }
+        if self.latency.count() > 0 {
+            registry.set_histogram(&metric_name(prefix, "latency"), &self.latency);
+        }
+        registry.set_counter(&metric_name(prefix, "started"), self.started);
+        registry.set_counter(&metric_name(prefix, "completed"), self.completed);
+        registry.set_counter(&metric_name(prefix, "dropped"), self.dropped);
     }
 }
 
@@ -258,7 +308,7 @@ mod tests {
 
     #[test]
     fn top_k_keeps_slowest_descending() {
-        let mut t = SpanTracer::new(64, 64, 3);
+        let mut t = SpanTracer::new(64, 3);
         for (id, lat) in [(1, 10), (2, 50), (3, 20), (4, 40), (5, 30)] {
             trace_one(&mut t, id, 0, lat - 5, lat);
         }
@@ -270,7 +320,7 @@ mod tests {
 
     #[test]
     fn capacity_limits_open_spans() {
-        let mut t = SpanTracer::new(2, 8, 4);
+        let mut t = SpanTracer::new(2, 4);
         t.start(1, 0, "a", SpanPhase::LlcMiss, 0);
         t.start(2, 0, "b", SpanPhase::LlcMiss, 0);
         t.start(3, 0, "c", SpanPhase::LlcMiss, 0);
@@ -283,13 +333,36 @@ mod tests {
     }
 
     #[test]
-    fn ring_evicts_oldest() {
-        let mut t = SpanTracer::new(64, 2, 4);
+    fn phase_histograms_cover_spans_evicted_from_top_k() {
+        // top_k = 1: only the slowest span survives as an exemplar, yet
+        // the histograms see all three completions.
+        let mut t = SpanTracer::new(64, 1);
+        for (id, lat) in [(1, 10), (2, 50), (3, 20)] {
+            trace_one(&mut t, id, 0, lat - 5, lat);
+        }
+        assert_eq!(t.slowest(10).len(), 1);
+        assert_eq!(t.latency_histogram().count(), 3);
+        assert_eq!(t.latency_histogram().max(), 50);
+        // Each completed span records one duration per non-terminal event.
+        assert_eq!(t.phase_histogram(SpanPhase::LlcMiss).count(), 3);
+        assert_eq!(t.phase_histogram(SpanPhase::DramIssue).count(), 3);
+        // DramIssue → Complete is 5 cycles in every exemplar above.
+        assert_eq!(t.phase_histogram(SpanPhase::DramIssue).max(), 5);
+        // The terminal Complete event contributes no duration sample.
+        assert_eq!(t.phase_histogram(SpanPhase::Complete).count(), 0);
+    }
+
+    #[test]
+    fn observe_publishes_histograms_and_counters() {
+        let mut t = SpanTracer::new(64, 2);
         trace_one(&mut t, 1, 0, 5, 10);
-        trace_one(&mut t, 2, 0, 5, 10);
-        trace_one(&mut t, 3, 0, 5, 10);
-        let ids: Vec<u64> = t.recent().map(|s| s.id).collect();
-        assert_eq!(ids, [2, 3]);
+        let mut reg = MetricRegistry::new();
+        t.observe("span", &mut reg);
+        assert_eq!(reg.counter("span.completed"), Some(1));
+        assert_eq!(reg.get_histogram("span.latency").unwrap().count(), 1);
+        assert_eq!(reg.get_histogram("span.phase_cycles.dram_enqueue").unwrap().count(), 1);
+        // Phases with no samples stay unpublished.
+        assert!(reg.get_histogram("span.phase_cycles.complete").is_none());
     }
 
     #[test]
@@ -299,5 +372,6 @@ mod tests {
         assert_eq!(t.completed(), 0);
         assert_eq!(t.dropped(), 1);
         assert!(t.slowest(10).is_empty());
+        assert_eq!(t.latency_histogram().count(), 0);
     }
 }

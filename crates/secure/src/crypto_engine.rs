@@ -45,6 +45,18 @@ pub enum CryptoWorkMode {
     Batched,
 }
 
+impl CryptoWorkMode {
+    /// Stable lowercase label (the canonical spelling `FromStr` accepts) —
+    /// used for CSV columns and metric keys.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::PerLine => "per-line",
+            Self::Batched => "batched",
+        }
+    }
+}
+
 impl std::str::FromStr for CryptoWorkMode {
     type Err = String;
 

@@ -1,0 +1,153 @@
+//! Cycle-attribution invariants, end to end.
+//!
+//! 1. **Conservation (zero tolerance).** For every Table II design —
+//!    healthy or with an injected chip failure, fast-forward on or off —
+//!    the attribution buckets (LLC hit, queue wait, bank busy, refresh
+//!    stall, bus transfer, crypto work) sum *exactly* to the total
+//!    end-to-end request cycles the profiler declared. No epsilon: the
+//!    decomposition telescopes, so any off-by-one anywhere in the DRAM
+//!    timestamp plumbing fails here.
+//! 2. **Invisibility.** The profiler is pure bookkeeping: toggling
+//!    `telemetry.attribution` leaves every simulated field of
+//!    [`SimResult`] byte-identical, at 1, 4 and 8 sweep threads.
+
+use proptest::prelude::*;
+use synergy_bench::{parallel_map, trace_seed};
+use synergy_core::system::{run, SimResult, SystemConfig};
+use synergy_dram::DramConfig;
+use synergy_faultsim::FaultSchedule;
+use synergy_obs::AttribBucket;
+use synergy_secure::DesignConfig;
+use synergy_trace::{presets, MultiCoreTrace};
+
+/// Tiny-but-nontrivial scale: spans refresh intervals, write drains and
+/// (with the early fault below) the degraded-mode transition.
+const INSTS: u64 = 8_000;
+const WARMUP: u64 = 2_000;
+
+/// The Table II design space the figures compare.
+fn designs() -> Vec<DesignConfig> {
+    vec![
+        DesignConfig::non_secure(),
+        DesignConfig::sgx(),
+        DesignConfig::sgx_o(),
+        DesignConfig::synergy(),
+        DesignConfig::ivec(),
+        DesignConfig::lot_ecc(true),
+        DesignConfig::sgx_o_chipkill(),
+    ]
+}
+
+fn run_cell(
+    design: DesignConfig,
+    workload: &str,
+    degraded: bool,
+    fast_forward: bool,
+    attribution: bool,
+) -> SimResult {
+    let w = presets::by_name(workload).expect("workload preset exists");
+    let mut cfg = SystemConfig::new(design);
+    cfg.dram = DramConfig::with_channels(2);
+    cfg.warmup_records_per_core = WARMUP;
+    cfg.fast_forward = fast_forward;
+    cfg.telemetry.attribution = attribution;
+    if degraded {
+        cfg.fault_schedule = FaultSchedule::chip_failure_at(1_000, 3);
+    }
+    let mut trace = MultiCoreTrace::rate_mode(&w, cfg.cores, trace_seed(2));
+    run(&cfg, &mut trace, INSTS).expect("simulation config is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Buckets sum to end-to-end cycles in every (design, workload,
+    /// degraded, fast-forward) cell, and the per-class rows are labeled
+    /// by [`synergy_dram::RequestClass`].
+    #[test]
+    fn attribution_conserves_cycles_across_design_space(
+        design_idx in 0usize..7,
+        workload in prop_oneof![Just("mcf"), Just("pr-web"), Just("lbm")],
+        degraded in any::<bool>(),
+        fast_forward in any::<bool>(),
+    ) {
+        let design = designs()[design_idx].clone();
+        let r = run_cell(design, workload, degraded, fast_forward, true);
+        prop_assert!(r.attrib.verify().is_ok(), "{}", r.attrib.verify().unwrap_err());
+        prop_assert!(r.attrib.total_requests() > 0, "no requests attributed");
+        prop_assert_eq!(
+            r.attrib.classes(),
+            &["data", "counter", "tree", "mac", "parity"]
+        );
+        // Requests actually went to DRAM, so time was spent on the bus.
+        prop_assert!(r.attrib.bucket_cycles(AttribBucket::BusTransfer) > 0);
+    }
+}
+
+/// A degraded Synergy run charges the one-time diagnosis burst to the
+/// crypto-work bucket; the healthy twin charges none.
+#[test]
+fn diagnosis_burst_lands_in_crypto_work_bucket() {
+    let healthy = run_cell(DesignConfig::synergy(), "mcf", false, true, true);
+    let degraded = run_cell(DesignConfig::synergy(), "mcf", true, true, true);
+    assert_eq!(healthy.attrib.bucket_cycles(AttribBucket::CryptoWork), 0);
+    assert!(
+        degraded.attrib.bucket_cycles(AttribBucket::CryptoWork) > 0,
+        "the §III-B diagnosis burst must be attributed"
+    );
+    degraded.attrib.verify().unwrap();
+}
+
+/// Every simulated (non-telemetry) field must be byte-identical whether
+/// the profiler is on or off — attribution reads timestamps the scheduler
+/// already produced and never feeds back.
+fn assert_simulation_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.design, b.design, "{what}: design");
+    assert_eq!(a.core_cycles, b.core_cycles, "{what}: core cycles");
+    assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "{what}: ipc bits");
+    assert_eq!(a.mem_cycles, b.mem_cycles, "{what}: mem cycles");
+    assert_eq!(a.dram, b.dram, "{what}: dram stats");
+    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "{what}: seconds");
+    assert_eq!(a.dram_energy, b.dram_energy, "{what}: dram energy");
+    assert_eq!(a.traffic, b.traffic, "{what}: traffic");
+    assert_eq!(a.engine, b.engine, "{what}: engine stats");
+    assert_eq!(a.degraded, b.degraded, "{what}: degraded stats");
+    assert_eq!(a.metadata_cache, b.metadata_cache, "{what}: metadata cache");
+    assert_eq!(a.llc, b.llc, "{what}: llc");
+    assert_eq!(a.telemetry.spans_completed, b.telemetry.spans_completed, "{what}: spans");
+}
+
+#[test]
+fn profiler_toggle_is_invisible_at_1_4_8_threads() {
+    // (design, degraded) grid; each cell runs twice per thread count —
+    // attribution on and off — through the same parallel runner the
+    // benches use.
+    let cells: Vec<(DesignConfig, bool)> = vec![
+        (DesignConfig::sgx_o(), false),
+        (DesignConfig::synergy(), false),
+        (DesignConfig::synergy(), true),
+    ];
+    let reference: Vec<SimResult> = cells
+        .iter()
+        .map(|(d, deg)| run_cell(d.clone(), "mcf", *deg, true, true))
+        .collect();
+    for threads in [1, 4, 8] {
+        for attribution in [true, false] {
+            let results = parallel_map(&cells, threads, |_, (d, deg)| {
+                run_cell(d.clone(), "mcf", *deg, true, attribution)
+            });
+            for (i, (r, base)) in results.iter().zip(&reference).enumerate() {
+                let what = format!(
+                    "cell {i} ({}) at {threads} threads, attribution={attribution}",
+                    cells[i].0.name
+                );
+                assert_simulation_identical(r, base, &what);
+                if attribution {
+                    assert_eq!(r.attrib, base.attrib, "{what}: attrib ledger");
+                } else {
+                    assert!(r.attrib.is_empty(), "{what}: ledger must be empty when off");
+                }
+            }
+        }
+    }
+}

@@ -81,6 +81,7 @@ fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
     assert_eq!(a.degraded, b.degraded, "{what}: degraded-mode stats");
     assert_eq!(a.telemetry.spans_completed, b.telemetry.spans_completed, "{what}: spans");
     assert_eq!(a.telemetry.spans_dropped, b.telemetry.spans_dropped, "{what}: dropped spans");
+    assert_eq!(a.attrib, b.attrib, "{what}: cycle attribution");
 }
 
 /// The sweep grid used by both determinism tests: every design class the
