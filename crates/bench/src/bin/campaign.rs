@@ -13,9 +13,9 @@
 //! minimized reproducers if any functional outcome disagrees with the
 //! analytic verdict.
 
-use synergy_bench::{banner, metrics_dir, print_table, write_csv};
+use synergy_bench::{banner, print_table, write_csv, write_metrics_registry};
 use synergy_campaign::{run, CampaignParams, Design, Outcome};
-use synergy_obs::{export, MetricRegistry};
+use synergy_obs::MetricRegistry;
 
 fn parse_scaled(s: &str) -> Option<u64> {
     let t = s.trim().to_ascii_lowercase();
@@ -89,10 +89,7 @@ fn main() {
 
     let mut reg = MetricRegistry::new();
     result.export(&mut reg);
-    let json_path = metrics_dir().join("campaign.json");
-    export::write_file(&json_path, &export::registry_to_json(&reg))
-        .expect("can write campaign metrics JSON");
-    println!("\n[metrics] {}", json_path.display());
+    write_metrics_registry("campaign", &reg);
     write_csv(
         "campaign",
         "design,corrected,due,sdc,crash,functional_rate,analytic_rate",

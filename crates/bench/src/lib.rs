@@ -219,6 +219,21 @@ pub fn metrics_dir() -> PathBuf {
     dir
 }
 
+/// Writes a [`MetricRegistry`] snapshot to
+/// `target/experiments/metrics/<name>.json` and returns the path — the
+/// one metrics-dir plumbing shared by every bin that exports a registry
+/// (`campaign`, `fleet`, ...).
+pub fn write_metrics_registry(
+    name: &str,
+    reg: &synergy_obs::MetricRegistry,
+) -> PathBuf {
+    let path = metrics_dir().join(format!("{name}.json"));
+    synergy_obs::export::write_file(&path, &synergy_obs::export::registry_to_json(reg))
+        .unwrap_or_else(|e| panic!("can write {name} metrics JSON: {e}"));
+    println!("\n[metrics] {}", path.display());
+    path
+}
+
 /// Directory for Chrome-trace JSON documents
 /// (`target/experiments/trace/`).
 pub fn trace_dir() -> PathBuf {

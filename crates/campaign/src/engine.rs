@@ -1,19 +1,20 @@
-//! The multi-threaded campaign engine: deterministic sharding, shard-order
-//! merge, mismatch minimization, and metric export.
+//! The campaign engine: deterministic sharding, shard-order merge,
+//! mismatch minimization, and metric export.
 //!
-//! Sharding mirrors `synergy_faultsim::sim`: injections split into
+//! Since PR 8 the engine is a thin [`Job`] on the generic
+//! [`JobFabric`]: injections split into
 //! fixed-size shards ([`SHARD_INJECTIONS`]) whose scenarios derive from
 //! global injection indices — never from the worker count — and shard
-//! results merge in shard order (counter adds plus
+//! results stream-merge in shard order (counter adds plus
 //! [`LogHistogram::merge`]). A campaign's [`CampaignResult`] is therefore
-//! bit-identical for any `threads` value at a fixed seed.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! bit-identical for any `threads` value at a fixed seed, and — via the
+//! fabric's frontier checkpoints — a killed campaign resumes
+//! bit-identically too.
 
 use synergy_faultsim::{ChipGeometry, FaultModel};
-use synergy_obs::{LogHistogram, MetricRegistry};
+use synergy_obs::{Json, LogHistogram, MetricRegistry};
 
+use crate::fabric::{Aggregate, FabricConfig, FabricRun, Job, JobFabric};
 use crate::runner::{analytic_fails, run_functional, Outcome, MEMORY_CAPACITY};
 use crate::scenario::{scenario_for, Design, Scenario};
 
@@ -94,6 +95,16 @@ impl OutcomeMatrix {
                 *c += oc;
             }
         }
+    }
+
+    /// Raw cells, `[design_row][outcome_col]` (checkpoint serialization).
+    pub fn cells(&self) -> &[[u64; 4]; 3] {
+        &self.counts
+    }
+
+    /// Rebuilds a matrix from raw cells (checkpoint deserialization).
+    pub fn from_cells(counts: [[u64; 4]; 3]) -> Self {
+        Self { counts }
     }
 }
 
@@ -224,95 +235,294 @@ fn rate(num: u64, den: u64) -> f64 {
     }
 }
 
+/// A functional-vs-analytic disagreement in checkpointable form: just the
+/// replay key plus both verdicts. The minimized [`Scenario`] is *not*
+/// carried (it is large and non-trivially serializable); [`finalize`]
+/// reconstructs it deterministically from `(seed, index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MismatchKey {
+    /// Global injection index under the campaign seed.
+    pub index: u64,
+    /// Functional outcome observed.
+    pub functional: Outcome,
+    /// Analytic verdict.
+    pub analytic_fail: bool,
+}
+
+/// The campaign's streaming shard aggregate — everything in
+/// [`CampaignResult`] that cannot be re-derived from `(seed, index)`.
 #[derive(Debug, Clone, PartialEq, Default)]
-struct ShardResult {
-    matrix: OutcomeMatrix,
-    analytic_failures: [u64; 3],
-    mismatches: Vec<Mismatch>,
-    mac_computations: LogHistogram,
+pub struct CampaignAggregate {
+    /// Outcome counts per design.
+    pub matrix: OutcomeMatrix,
+    /// Analytic-failure counts per design.
+    pub analytic_failures: [u64; 3],
+    /// Exact total disagreement count.
+    pub mismatch_count: u64,
+    /// Replay keys of the first `MAX_REPRODUCERS` disagreements, in
+    /// injection order. Prefix truncation at merge keeps this associative.
+    pub mismatch_keys: Vec<MismatchKey>,
+    /// MAC-computation distribution over SYNERGY reads.
+    pub mac_computations: LogHistogram,
+}
+
+impl Aggregate for CampaignAggregate {
+    fn empty() -> Self {
+        Self::default()
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.matrix.merge(&other.matrix);
+        for (a, b) in self.analytic_failures.iter_mut().zip(other.analytic_failures) {
+            *a += b;
+        }
+        self.mismatch_count += other.mismatch_count;
+        self.mismatch_keys.extend(other.mismatch_keys.iter().copied());
+        self.mismatch_keys.truncate(MAX_REPRODUCERS);
+        self.mac_computations.merge(&other.mac_computations);
+    }
+
+    fn to_json(&self) -> String {
+        let matrix: Vec<String> = self
+            .matrix
+            .cells()
+            .iter()
+            .map(|row| format!("[{},{},{},{}]", row[0], row[1], row[2], row[3]))
+            .collect();
+        let keys: Vec<String> = self
+            .mismatch_keys
+            .iter()
+            .map(|k| {
+                format!(
+                    "{{\"index\":{},\"functional\":\"{}\",\"analytic_fail\":{}}}",
+                    k.index,
+                    k.functional.label(),
+                    k.analytic_fail
+                )
+            })
+            .collect();
+        format!(
+            "{{\"matrix\":[{}],\"analytic_failures\":[{},{},{}],\"mismatch_count\":{},\"mismatch_keys\":[{}],\"mac_computations\":{}}}",
+            matrix.join(","),
+            self.analytic_failures[0],
+            self.analytic_failures[1],
+            self.analytic_failures[2],
+            self.mismatch_count,
+            keys.join(","),
+            self.mac_computations.snapshot_json()
+        )
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let u64s = |j: &Json, what: &str| -> Result<Vec<u64>, String> {
+            j.as_array()
+                .ok_or_else(|| format!("campaign aggregate: '{what}' is not an array"))?
+                .iter()
+                .map(|v| v.as_f64().map(|f| f as u64).ok_or_else(|| format!("bad number in {what}")))
+                .collect()
+        };
+        let rows = json
+            .get("matrix")
+            .and_then(Json::as_array)
+            .ok_or("campaign aggregate: missing 'matrix'")?;
+        let mut counts = [[0u64; 4]; 3];
+        if rows.len() != 3 {
+            return Err("campaign aggregate: matrix needs 3 rows".into());
+        }
+        for (r, row) in rows.iter().enumerate() {
+            let vals = u64s(row, "matrix row")?;
+            if vals.len() != 4 {
+                return Err("campaign aggregate: matrix row needs 4 cells".into());
+            }
+            counts[r].copy_from_slice(&vals);
+        }
+        let af = u64s(
+            json.get("analytic_failures").ok_or("campaign aggregate: missing 'analytic_failures'")?,
+            "analytic_failures",
+        )?;
+        if af.len() != 3 {
+            return Err("campaign aggregate: analytic_failures needs 3 entries".into());
+        }
+        let mut keys = Vec::new();
+        for k in json
+            .get("mismatch_keys")
+            .and_then(Json::as_array)
+            .ok_or("campaign aggregate: missing 'mismatch_keys'")?
+        {
+            keys.push(MismatchKey {
+                index: k
+                    .get("index")
+                    .and_then(Json::as_f64)
+                    .ok_or("mismatch key: missing 'index'")? as u64,
+                functional: k
+                    .get("functional")
+                    .and_then(Json::as_str)
+                    .and_then(Outcome::from_label)
+                    .ok_or("mismatch key: bad 'functional'")?,
+                analytic_fail: k
+                    .get("analytic_fail")
+                    .and_then(Json::as_bool)
+                    .ok_or("mismatch key: missing 'analytic_fail'")?,
+            });
+        }
+        Ok(Self {
+            matrix: OutcomeMatrix::from_cells(counts),
+            analytic_failures: [af[0], af[1], af[2]],
+            mismatch_count: json
+                .get("mismatch_count")
+                .and_then(Json::as_f64)
+                .ok_or("campaign aggregate: missing 'mismatch_count'")? as u64,
+            mismatch_keys: keys,
+            mac_computations: LogHistogram::from_snapshot(
+                json.get("mac_computations")
+                    .ok_or("campaign aggregate: missing 'mac_computations'")?,
+            )?,
+        })
+    }
+}
+
+/// The differential campaign as a fabric [`Job`]: scenario `i` derives
+/// deterministically from `(seed, i)` alone, so any shard decomposition,
+/// worker count, or kill/resume cut produces the identical aggregate.
+pub struct CampaignJob {
+    params: CampaignParams,
+    shard_items: u64,
+}
+
+impl CampaignJob {
+    /// Wraps `params` with the standard [`SHARD_INJECTIONS`] shard size.
+    pub fn new(params: &CampaignParams) -> Self {
+        Self { params: params.clone(), shard_items: SHARD_INJECTIONS }
+    }
+
+    /// Overrides the shard size (tests exercise kill boundaries without
+    /// paying for multi-thousand-injection shards). The aggregate is
+    /// invariant to this — per-injection work derives from global indices.
+    pub fn with_shard_items(mut self, shard_items: u64) -> Self {
+        assert!(shard_items > 0, "shard size must be positive");
+        self.shard_items = shard_items;
+        self
+    }
+}
+
+impl Job for CampaignJob {
+    type Agg = CampaignAggregate;
+
+    fn items(&self) -> u64 {
+        self.params.injections
+    }
+
+    fn shard_items(&self) -> u64 {
+        self.shard_items
+    }
+
+    fn run_shard(&self, start: u64, count: u64) -> CampaignAggregate {
+        let params = &self.params;
+        let mut shard = CampaignAggregate::empty();
+        let data_lines = MEMORY_CAPACITY / 64;
+        for index in start..start + count {
+            let scenario =
+                scenario_for(params.seed, index, &params.model, &params.geometry, data_lines);
+            let functional = run_functional(&scenario);
+            let analytic = analytic_fails(&scenario);
+            shard.matrix.record(scenario.design, functional.outcome);
+            if analytic {
+                shard.analytic_failures[design_row(scenario.design)] += 1;
+            }
+            if scenario.design == Design::Synergy && functional.mac_computations > 0 {
+                shard.mac_computations.record(u64::from(functional.mac_computations));
+            }
+            if functional.outcome.is_failure() != analytic {
+                shard.mismatch_count += 1;
+                if shard.mismatch_keys.len() < MAX_REPRODUCERS {
+                    shard.mismatch_keys.push(MismatchKey {
+                        index,
+                        functional: functional.outcome,
+                        analytic_fail: analytic,
+                    });
+                }
+            }
+        }
+        shard
+    }
+
+    fn fingerprint(&self) -> String {
+        let params = &self.params;
+        let g = &params.geometry;
+        let model: Vec<String> = params
+            .model
+            .rates()
+            .iter()
+            .map(|r| format!("{}:{}/{}", r.mode, r.transient_fit, r.permanent_fit))
+            .collect();
+        format!(
+            "campaign-v1 seed={:#x} injections={} geometry={}x{}x{}x{} model=[{}]",
+            params.seed,
+            params.injections,
+            g.banks,
+            g.rows,
+            g.cols,
+            g.bits_per_word,
+            model.join(",")
+        )
+    }
+}
+
+/// Assembles the user-facing [`CampaignResult`] from a fabric run,
+/// reconstructing and minimizing the carried reproducers from their
+/// `(seed, index)` replay keys. Works on partial (interrupted) runs too:
+/// `injections` then reflects the injections actually executed.
+pub fn finalize(params: &CampaignParams, run: &FabricRun<CampaignAggregate>) -> CampaignResult {
+    let agg = &run.aggregate;
+    let data_lines = MEMORY_CAPACITY / 64;
+    let mismatches = agg
+        .mismatch_keys
+        .iter()
+        .map(|k| Mismatch {
+            seed: params.seed,
+            index: k.index,
+            functional: k.functional,
+            analytic_fail: k.analytic_fail,
+            minimized: minimize(&scenario_for(
+                params.seed,
+                k.index,
+                &params.model,
+                &params.geometry,
+                data_lines,
+            )),
+        })
+        .collect();
+    CampaignResult {
+        injections: agg.matrix.total(),
+        seed: params.seed,
+        matrix: agg.matrix,
+        analytic_failures: agg.analytic_failures,
+        mismatch_count: agg.mismatch_count,
+        mismatches,
+        mac_computations: agg.mac_computations.clone(),
+    }
 }
 
 /// Runs a differential campaign.
 ///
 /// Scenario `i` of `params.injections` derives deterministically from
 /// `(params.seed, i)`; shards of [`SHARD_INJECTIONS`] are pulled from a
-/// shared queue by `threads` workers and merged in shard order, so the
-/// result does not depend on the thread count.
+/// shared queue by `threads` workers and stream-merged in shard order, so
+/// the result does not depend on the thread count.
 pub fn run(params: &CampaignParams) -> CampaignResult {
-    let threads = if params.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        params.threads
-    };
-    let shards = params.injections.div_ceil(SHARD_INJECTIONS) as usize;
-    let workers = threads.min(shards).max(1);
-    let slots: Mutex<Vec<ShardResult>> = Mutex::new(vec![ShardResult::default(); shards]);
-    let next = AtomicUsize::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= shards {
-                    break;
-                }
-                let start = i as u64 * SHARD_INJECTIONS;
-                let count = SHARD_INJECTIONS.min(params.injections - start);
-                let r = run_shard(params, start, count);
-                slots.lock().expect("shard slots poisoned")[i] = r;
-            });
-        }
-    })
-    .expect("thread scope");
-
-    let mut merged = ShardResult::default();
-    for shard in slots.into_inner().expect("shard slots poisoned") {
-        merged.matrix.merge(&shard.matrix);
-        for (a, b) in merged.analytic_failures.iter_mut().zip(shard.analytic_failures) {
-            *a += b;
-        }
-        merged.mismatches.extend(shard.mismatches);
-        merged.mac_computations.merge(&shard.mac_computations);
-    }
-    let mismatch_count = merged.mismatches.len() as u64;
-    merged.mismatches.truncate(MAX_REPRODUCERS);
-
-    CampaignResult {
-        injections: params.injections,
-        seed: params.seed,
-        matrix: merged.matrix,
-        analytic_failures: merged.analytic_failures,
-        mismatch_count,
-        mismatches: merged.mismatches,
-        mac_computations: merged.mac_computations,
-    }
+    run_with_fabric(params, FabricConfig { threads: params.threads, ..Default::default() })
+        .expect("fresh campaign runs cannot have checkpoint mismatches")
 }
 
-fn run_shard(params: &CampaignParams, start: u64, count: u64) -> ShardResult {
-    let mut shard = ShardResult::default();
-    let data_lines = MEMORY_CAPACITY / 64;
-    for index in start..start + count {
-        let scenario = scenario_for(params.seed, index, &params.model, &params.geometry, data_lines);
-        let functional = run_functional(&scenario);
-        let analytic = analytic_fails(&scenario);
-        shard.matrix.record(scenario.design, functional.outcome);
-        if analytic {
-            shard.analytic_failures[design_row(scenario.design)] += 1;
-        }
-        if scenario.design == Design::Synergy && functional.mac_computations > 0 {
-            shard.mac_computations.record(u64::from(functional.mac_computations));
-        }
-        if functional.outcome.is_failure() != analytic {
-            shard.mismatches.push(Mismatch {
-                seed: params.seed,
-                index,
-                functional: functional.outcome,
-                analytic_fail: analytic,
-                minimized: minimize(&scenario),
-            });
-        }
-    }
-    shard
+/// [`run`] with full fabric control: checkpointing, simulated kills, and
+/// resume from an on-disk frontier (`cfg.checkpoint_path`). `cfg.threads`
+/// supersedes `params.threads`.
+pub fn run_with_fabric(
+    params: &CampaignParams,
+    cfg: FabricConfig,
+) -> Result<CampaignResult, String> {
+    let fabric = JobFabric::new(CampaignJob::new(params), cfg);
+    Ok(finalize(params, &fabric.resume()?))
 }
 
 /// Shrinks a mismatching scenario while the disagreement still reproduces:
@@ -432,5 +642,108 @@ mod tests {
         assert!(reg.counter("campaign_synergy_corrected").unwrap_or(0) > 0);
         assert!(reg.get_histogram("campaign_synergy_mac_computations").is_some());
         assert_eq!(r.csv_rows().len(), 3);
+    }
+
+    #[test]
+    fn campaign_aggregate_json_round_trips() {
+        let job = CampaignJob::new(&quick(700, 1));
+        let agg = job.run_shard(0, 700);
+        let json = Json::parse(&agg.to_json()).expect("aggregate JSON parses");
+        let back = CampaignAggregate::from_json(&json).expect("aggregate deserializes");
+        assert_eq!(agg, back);
+    }
+
+    #[test]
+    fn checkpointed_campaign_resumes_bit_identically() {
+        let params = quick(SHARD_INJECTIONS + 900, 2);
+        let baseline = run(&params);
+        let dir = std::env::temp_dir()
+            .join(format!("synergy-engine-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("campaign.ckpt.json");
+        let killed = run_with_fabric(
+            &params,
+            FabricConfig {
+                threads: 2,
+                checkpoint_every: Some(1),
+                checkpoint_path: Some(path.clone()),
+                stop_after_shards: Some(1),
+            },
+        )
+        .expect("killed run");
+        assert!(killed.matrix.total() < params.injections, "kill actually cut the run short");
+        let resumed = run_with_fabric(
+            &params,
+            FabricConfig {
+                threads: 2,
+                checkpoint_every: Some(1),
+                checkpoint_path: Some(path),
+                stop_after_shards: None,
+            },
+        )
+        .expect("resumed run");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(baseline, resumed);
+    }
+
+    use proptest::prelude::*;
+
+    fn arb_matrix() -> impl Strategy<Value = OutcomeMatrix> {
+        proptest::collection::vec(0u64..1_000_000, 12).prop_map(|v| {
+            let mut cells = [[0u64; 4]; 3];
+            for (i, x) in v.into_iter().enumerate() {
+                cells[i / 4][i % 4] = x;
+            }
+            OutcomeMatrix::from_cells(cells)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn outcome_matrix_merge_is_commutative(a in arb_matrix(), b in arb_matrix()) {
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn outcome_matrix_merge_is_associative(
+            a in arb_matrix(),
+            b in arb_matrix(),
+            c in arb_matrix(),
+        ) {
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+    }
+
+    proptest! {
+        // minimize() replays functional pipelines per candidate — keep the
+        // case count modest.
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn minimize_is_idempotent(seed in 0u64..=u64::MAX, index in 0u64..5_000) {
+            let params = CampaignParams::default();
+            let s = scenario_for(
+                seed,
+                index,
+                &params.model,
+                &params.geometry,
+                MEMORY_CAPACITY / 64,
+            );
+            let once = minimize(&s);
+            prop_assert_eq!(minimize(&once), once);
+        }
     }
 }

@@ -46,11 +46,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fabric;
 pub mod runner;
 pub mod scenario;
 
 pub use engine::{
-    run, CampaignParams, CampaignResult, Mismatch, OutcomeMatrix, SHARD_INJECTIONS,
+    finalize, run, run_with_fabric, CampaignAggregate, CampaignJob, CampaignParams,
+    CampaignResult, Mismatch, MismatchKey, OutcomeMatrix, SHARD_INJECTIONS,
 };
+pub use fabric::{Aggregate, Checkpoint, FabricConfig, FabricRun, Job, JobFabric};
 pub use runner::{analytic_fails, run_functional, Outcome};
 pub use scenario::{scenario_for, Design, Scenario, ScenarioFault, TargetRegion};

@@ -60,6 +60,12 @@ impl Outcome {
     pub fn is_failure(self) -> bool {
         !matches!(self, Outcome::Corrected)
     }
+
+    /// Inverse of [`label`](Self::label) — used when deserializing
+    /// checkpointed campaign aggregates.
+    pub fn from_label(label: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.label() == label)
+    }
 }
 
 /// Result of one functional injection run.

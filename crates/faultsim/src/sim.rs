@@ -211,8 +211,11 @@ fn run_batch(
 }
 
 /// Knuth's Poisson sampler — ideal for small λ (λ ≈ 0.04 here, so the
-/// expected iteration count is barely above 1).
-fn poisson<R: Rng>(rng: &mut R, exp_neg_lambda: f64) -> u32 {
+/// expected iteration count is barely above 1). Takes `exp(-λ)`
+/// precomputed so per-device dispatch stays one multiply + one compare on
+/// the (dominant) zero-fault path. Shared with `synergy-fleet`, whose
+/// per-DIMM fault arrivals use the same conditioned-sampling trick.
+pub fn poisson<R: Rng>(rng: &mut R, exp_neg_lambda: f64) -> u32 {
     let mut k = 0u32;
     let mut p = 1.0f64;
     loop {

@@ -1,0 +1,137 @@
+//! The fleet model: which designs race, what a fault costs, and the
+//! degraded-mode price list.
+
+use synergy_faultsim::{ChipGeometry, EccPolicy, Fault, FaultModel};
+
+/// The Table II designs raced by the fleet simulator, fixed order (also
+/// the aggregate's tally order). LOT-ECC+WC is benchmarked by
+/// `fig_degraded` but has no analytic [`EccPolicy`], so it does not race
+/// here.
+pub const FLEET_DESIGNS: [EccPolicy; 4] =
+    [EccPolicy::Secded, EccPolicy::Chipkill, EccPolicy::Ivec, EccPolicy::Synergy];
+
+/// P(silent corruption | uncorrectable error) for (72,64) SECDED.
+///
+/// A corruption beyond single-bit yields an 8-bit syndrome ≈ uniform over
+/// 256 values: the zero syndrome (1/256) is silently accepted, and each of
+/// the 72 single-bit syndromes (72/256) triggers a miscorrection — both
+/// are SDC. Every other syndrome is flagged as a DUE. MAC-protected
+/// (SYNERGY, IVEC) and symbol-based (Chipkill) designs detect their
+/// uncorrectable patterns instead, so only SECDED draws this Bernoulli.
+pub const SECDED_SDC_GIVEN_UNCORRECTABLE: f64 = 73.0 / 256.0;
+
+/// Degraded-mode slowdown while a DIMM operates past a chip-scale fault —
+/// the measured `fig_degraded` gmean factors (PR 5 degraded lifecycle):
+/// SYNERGY reconstructs every read from RAID-3 parity (1.18×), IVEC
+/// re-derives from its MAC domain (1.10×), Chipkill corrects inline in
+/// the symbol decoder (1.00×). `None` means the design cannot survive a
+/// chip failure at all (SECDED: the fault is a DUE, not a mode).
+pub fn degraded_slowdown(policy: EccPolicy) -> Option<f64> {
+    match policy {
+        EccPolicy::Synergy => Some(1.18),
+        EccPolicy::Ivec => Some(1.10),
+        EccPolicy::Chipkill => Some(1.00),
+        EccPolicy::Secded | EccPolicy::None => None,
+    }
+}
+
+/// Whether a fault pushes its DIMM into the degraded lifecycle: a
+/// *permanent* fault whose mode corrupts multi-bit chip output
+/// ([`FaultMode::defeats_secded`]) makes the host treat the chip as
+/// failed and reconstruct around it for the rest of the horizon.
+/// Transient faults scrub away; single-bit/column faults stay on the
+/// in-line correction fast path.
+///
+/// [`FaultMode::defeats_secded`]: synergy_faultsim::FaultMode::defeats_secded
+pub fn is_chip_degrading(fault: &Fault) -> bool {
+    fault.permanent && fault.mode.defeats_secded()
+}
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetParams {
+    /// DIMMs (correction domains) in the fleet.
+    pub dimms: u64,
+    /// Observation horizon in years (paper lifetime: 7).
+    pub years: f64,
+    /// RNG seed; shard streams derive from `(seed, first DIMM index)`.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Optional scrub interval in hours (clears transient faults).
+    pub scrub_interval_hours: Option<f64>,
+    /// Downtime charged per DUE (replace + restore), in hours.
+    pub repair_hours: f64,
+    /// Relative fault-mode rates (Table I by default).
+    pub model: FaultModel,
+    /// Per-chip DRAM geometry.
+    pub geometry: ChipGeometry,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        Self {
+            dimms: 1_000_000,
+            years: 7.0,
+            seed: 0xF1EE7,
+            threads: 0,
+            scrub_interval_hours: None,
+            repair_hours: 24.0,
+            model: FaultModel::sridharan(),
+            geometry: ChipGeometry::default(),
+        }
+    }
+}
+
+impl FleetParams {
+    /// Horizon length in hours.
+    pub fn horizon_hours(&self) -> f64 {
+        self.years * synergy_faultsim::HOURS_PER_YEAR
+    }
+
+    /// Whole years covered by the per-year curves (horizon rounded up).
+    pub fn curve_years(&self) -> usize {
+        (self.years.ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_faultsim::FaultMode;
+
+    #[test]
+    fn design_order_is_stable() {
+        assert_eq!(FLEET_DESIGNS[0], EccPolicy::Secded);
+        assert_eq!(FLEET_DESIGNS[3], EccPolicy::Synergy);
+    }
+
+    #[test]
+    fn only_chip_survivable_designs_have_a_degraded_mode() {
+        assert_eq!(degraded_slowdown(EccPolicy::Secded), None);
+        assert_eq!(degraded_slowdown(EccPolicy::None), None);
+        assert_eq!(degraded_slowdown(EccPolicy::Chipkill), Some(1.00));
+        assert!(degraded_slowdown(EccPolicy::Synergy).unwrap() > 1.0);
+        assert!(degraded_slowdown(EccPolicy::Ivec).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn degrading_faults_are_permanent_and_multi_bit() {
+        let geo = ChipGeometry::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use rand::SeedableRng;
+        let mk = |mode, permanent, rng: &mut rand::rngs::StdRng| {
+            Fault::sample(rng, &geo, 0, mode, permanent, 10.0)
+        };
+        assert!(is_chip_degrading(&mk(FaultMode::SingleBank, true, &mut rng)));
+        assert!(!is_chip_degrading(&mk(FaultMode::SingleBank, false, &mut rng)));
+        assert!(!is_chip_degrading(&mk(FaultMode::SingleBit, true, &mut rng)));
+    }
+
+    #[test]
+    fn curve_years_rounds_up() {
+        let p = FleetParams { years: 6.5, ..Default::default() };
+        assert_eq!(p.curve_years(), 7);
+        assert_eq!(FleetParams::default().curve_years(), 7);
+    }
+}

@@ -206,6 +206,80 @@ impl LogHistogram {
             (lo, hi, c)
         })
     }
+
+    /// Lossless JSON snapshot:
+    /// `{"count":..,"sum":..,"min":..,"max":..,"buckets":[[index,count],..]}`.
+    ///
+    /// Values survive the JSON `f64` round-trip exactly up to 2^53 —
+    /// far beyond any checkpointed campaign or fleet aggregate.
+    ///
+    /// Unlike [`crate::export::histogram_to_json`] (a human-oriented
+    /// summary), this preserves the internal state exactly — a histogram
+    /// rebuilt by [`LogHistogram::from_snapshot`] compares `==` to the
+    /// original. Checkpoint/resume machinery (the `synergy-campaign` job
+    /// fabric) depends on that bit-identity.
+    pub fn snapshot_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("[{i},{c}]"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max(),
+            buckets.join(",")
+        )
+    }
+
+    /// Rebuilds a histogram from a [`snapshot_json`](Self::snapshot_json)
+    /// document parsed with [`crate::json::Json`]. Exact inverse: the
+    /// result is `==` to the snapshotted histogram.
+    pub fn from_snapshot(json: &crate::json::Json) -> Result<Self, String> {
+        let field = |k: &str| -> Result<u64, String> {
+            json.get(k)
+                .and_then(|v| v.as_f64())
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("histogram snapshot: missing numeric '{k}'"))
+        };
+        let count = field("count")?;
+        if count == 0 {
+            return Ok(Self::new());
+        }
+        let mut h = Self {
+            counts: Vec::new(),
+            count,
+            sum: field("sum")?,
+            min: field("min")?,
+            max: field("max")?,
+        };
+        let buckets = json
+            .get("buckets")
+            .and_then(|v| v.as_array())
+            .ok_or("histogram snapshot: missing 'buckets' array")?;
+        for b in buckets {
+            let pair = b.as_array().filter(|p| p.len() == 2);
+            let (idx, c) = match pair {
+                Some(p) => (
+                    p[0].as_f64().ok_or("bad bucket index")? as usize,
+                    p[1].as_f64().ok_or("bad bucket count")? as u64,
+                ),
+                None => return Err("histogram snapshot: bucket is not [index,count]".into()),
+            };
+            if idx >= h.counts.len() {
+                h.counts.resize(idx + 1, 0);
+            }
+            h.counts[idx] = c;
+        }
+        if h.counts.last() == Some(&0) {
+            return Err("histogram snapshot: trailing empty bucket".into());
+        }
+        Ok(h)
+    }
 }
 
 #[cfg(test)]
@@ -286,8 +360,28 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    #[test]
+    fn snapshot_round_trips_empty() {
+        let h = LogHistogram::new();
+        let doc = crate::json::Json::parse(&h.snapshot_json()).unwrap();
+        assert_eq!(LogHistogram::from_snapshot(&doc).unwrap(), h);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn snapshot_round_trips_exactly(
+            values in proptest::collection::vec(0u64..2_000_000, 0..200),
+        ) {
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let doc = crate::json::Json::parse(&h.snapshot_json()).unwrap();
+            let back = LogHistogram::from_snapshot(&doc).unwrap();
+            prop_assert_eq!(back, h);
+        }
 
         #[test]
         fn percentiles_within_bound_of_oracle(

@@ -20,7 +20,11 @@
 //! * [`campaign`] — differential fault-injection campaign: the analytic
 //!   reliability verdicts cross-checked against the functional SECDED /
 //!   Chipkill / SYNERGY recovery pipelines, with replayable reproducers
-//!   for any disagreement.
+//!   for any disagreement. Also home of the generic checkpointable
+//!   [`JobFabric`](campaign::JobFabric).
+//! * [`fleet`] — fleet-scale lifetime reliability: N DIMMs over a T-year
+//!   horizon on the job fabric, with per-design availability / SDC / DUE
+//!   / degraded-slowdown curves.
 //! * [`obs`] — telemetry: log-bucketed latency histograms, the named
 //!   metric registry, request-lifecycle span tracing, JSON/CSV export.
 //! * [`core`] — the SYNERGY functional memory (MAC-in-ECC-chip co-location,
@@ -60,6 +64,7 @@ pub use synergy_crypto as crypto;
 pub use synergy_dram as dram;
 pub use synergy_ecc as ecc;
 pub use synergy_faultsim as faultsim;
+pub use synergy_fleet as fleet;
 pub use synergy_obs as obs;
 pub use synergy_secure as secure;
 pub use synergy_trace as trace;
