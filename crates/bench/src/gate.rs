@@ -45,7 +45,11 @@ pub struct GateRule {
 /// where cycles go is a real change in system behaviour regardless of the
 /// run's absolute cycle count. Raw attribution counters, traffic counts
 /// and degraded-lifecycle counters get generous relative bands; IPC gets
-/// the tightest one since it is the headline number. Everything without a
+/// the tightest one since it is the headline number. Secure-engine
+/// hot-path counters (`engine.*` — expansion and metadata-cache traffic)
+/// get a tight 5% band: they are simulation-determined, and a drift there
+/// means the per-access path changed behaviour, not just speed.
+/// Everything without a
 /// matching rule is ungated (histogram summaries, cache internals, span
 /// bookkeeping — all either derived from gated metrics or too noisy at CI
 /// scale to pin).
@@ -59,6 +63,7 @@ pub const DEFAULT_RULES: &[GateRule] = &[
     GateRule { prefix: "core.system.ipc", tolerance: Tolerance::Relative(0.05) },
     GateRule { prefix: "dram.reads.", tolerance: Tolerance::Relative(0.10) },
     GateRule { prefix: "dram.writes.", tolerance: Tolerance::Relative(0.10) },
+    GateRule { prefix: "engine.", tolerance: Tolerance::Relative(0.05) },
     GateRule { prefix: "degraded.", tolerance: Tolerance::Relative(0.10) },
 ];
 
@@ -304,6 +309,7 @@ mod tests {
         assert_eq!(rule_for(DEFAULT_RULES, "attrib.share.queue_wait"), Tolerance::Absolute(0.05));
         assert_eq!(rule_for(DEFAULT_RULES, "attrib.cycles.queue_wait"), Tolerance::Relative(0.08));
         assert_eq!(rule_for(DEFAULT_RULES, "sim.cycles_per_sec"), Tolerance::Skip);
+        assert_eq!(rule_for(DEFAULT_RULES, "engine.counter_misses"), Tolerance::Relative(0.05));
         assert_eq!(rule_for(DEFAULT_RULES, "llc.hits"), Tolerance::Skip);
     }
 }

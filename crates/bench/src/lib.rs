@@ -314,7 +314,9 @@ impl MetricsSnapshot {
 
     /// Folds one simulation run of `workload` into `design`'s aggregate:
     /// per-class DRAM latency histograms and traffic counters, a
-    /// per-workload IPC gauge, and the slowest-request spans.
+    /// per-workload IPC gauge, secure-engine hot-path counters
+    /// (`engine.*` — gated by the perf-regression gate), and the
+    /// slowest-request spans.
     pub fn add_run(&mut self, design: &str, workload: &str, r: &SimResult) {
         let d = self.designs.entry(design.to_string()).or_default();
         for class in RequestClass::ALL {
@@ -329,6 +331,12 @@ impl MetricsSnapshot {
         d.registry.merge_histogram("dram.read_latency", &r.dram.read_latency_all());
         d.registry.merge_histogram("dram.write_latency", &r.dram.write_latency_all());
         d.registry.set_gauge(&format!("ipc.{workload}"), r.ipc);
+        d.registry.add_counter("engine.data_reads", r.engine.data_reads);
+        d.registry.add_counter("engine.data_writebacks", r.engine.data_writebacks);
+        d.registry.add_counter("engine.counter_dedicated_hits", r.engine.counter_dedicated_hits);
+        d.registry.add_counter("engine.counter_llc_hits", r.engine.counter_llc_hits);
+        d.registry.add_counter("engine.counter_misses", r.engine.counter_misses);
+        d.registry.add_counter("engine.tree_fetches", r.engine.tree_fetches);
         d.registry.add_counter("spans.completed", r.telemetry.spans_completed);
         d.registry.add_counter("spans.dropped", r.telemetry.spans_dropped);
         d.attrib.merge(&r.attrib);

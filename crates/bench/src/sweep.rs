@@ -254,6 +254,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_single_thread_runs_inline_on_caller() {
+        // threads == 1 must take the spawn-free fast path: every call runs
+        // on the calling thread (cheap single-thread sweeps, and panics
+        // surface directly instead of through a worker join).
+        let caller = std::thread::current().id();
+        let ids = parallel_map(&[0u8; 17], 1, |_, _| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+        // Degenerate worker counts collapse to the same inline path.
+        let ids = parallel_map(&[1u8], 64, |_, _| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+        assert!(parallel_map(&Vec::<u8>::new(), 0, |_, _| std::thread::current().id()).is_empty());
+    }
+
+    #[test]
     fn report_registry_records_host_cpus() {
         let report = SweepReport { results: Vec::new(), wall_seconds: 0.0, threads: 1 };
         let reg = report.registry();

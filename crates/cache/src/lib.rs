@@ -122,13 +122,19 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_use: u64,
-}
+// Per-way state is packed into one u64 "meta word" per way:
+//
+//   bit 0      valid
+//   bit 1      dirty
+//   bits 2..   tag
+//
+// A probe compares `word & !DIRTY` against `tag << TAG_SHIFT | VALID`, so
+// hit detection is a single load + mask + compare per way. The tag of a
+// 64-bit byte address loses `line_shift + set_bits` low bits first (≥ 7 in
+// every modeled geometry), so shifting it up by 2 cannot overflow.
+const WAY_VALID: u64 = 1;
+const WAY_DIRTY: u64 = 2;
+const TAG_SHIFT: u32 = 2;
 
 /// Hit/miss statistics, separable by read and write.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -185,10 +191,35 @@ impl synergy_obs::Observe for CacheStats {
 /// The cache tracks presence and dirtiness only — data contents live in the
 /// functional layer. Addresses are byte addresses; the cache masks them to
 /// line granularity internally.
+///
+/// # Storage layout
+///
+/// Way state lives in two flat parallel arrays indexed by
+/// `set * ways + way`:
+///
+/// ```text
+/// meta:     [ tag|d|v ][ tag|d|v ] ... one packed u64 per way
+/// last_use: [   u64   ][   u64   ] ... LRU clocks, probed only on evict
+/// ```
+///
+/// Splitting the LRU clocks out of the probe array means a lookup touches
+/// one contiguous `ways`-long run of packed words (a single cacheline for
+/// 8-way geometries) and only the hitting way's clock; set index and tag
+/// come from precomputed shift/mask (line size and set count are validated
+/// powers of two, so the div/mod forms are exact shifts).
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Packed valid/dirty/tag words, `sets * ways` long.
+    meta: Box<[u64]>,
+    /// LRU clocks, parallel to `meta`.
+    last_use: Box<[u64]>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `log2(sets)`.
+    set_bits: u32,
+    /// `sets - 1`.
+    set_mask: u64,
     use_clock: u64,
     stats: CacheStats,
 }
@@ -196,11 +227,17 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = vec![
-            vec![Way { tag: 0, valid: false, dirty: false, last_use: 0 }; config.ways];
-            config.sets()
-        ];
-        Self { config, sets, use_clock: 0, stats: CacheStats::default() }
+        let slots = config.sets() * config.ways;
+        Self {
+            config,
+            meta: vec![0u64; slots].into_boxed_slice(),
+            last_use: vec![0u64; slots].into_boxed_slice(),
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_bits: config.sets().trailing_zeros(),
+            set_mask: config.sets() as u64 - 1,
+            use_clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -218,14 +255,40 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let set = (line % self.config.sets() as u64) as usize;
-        let tag = line / self.config.sets() as u64;
-        (set, tag)
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_bits)
+    }
+
+    /// Byte address of the line stored at `slot` (inverse of
+    /// [`Self::set_and_tag`] given the slot's set).
+    #[inline]
+    fn slot_addr(&self, slot: usize) -> u64 {
+        let set = (slot / self.config.ways) as u64;
+        let tag = self.meta[slot] >> TAG_SHIFT;
+        ((tag << self.set_bits) | set) << self.line_shift
+    }
+
+    /// Flat index of the first way of `set`.
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.config.ways
+    }
+
+    /// Probes `set` for `tag`; returns the hitting slot index.
+    #[inline]
+    fn probe(&self, set: usize, tag: u64) -> Option<usize> {
+        let want = (tag << TAG_SHIFT) | WAY_VALID;
+        let base = self.base(set);
+        self.meta[base..base + self.config.ways]
+            .iter()
+            .position(|&w| w & !WAY_DIRTY == want)
+            .map(|i| base + i)
     }
 
     /// Performs a read lookup, updating LRU state. Returns `true` on hit.
+    #[inline]
     pub fn read(&mut self, addr: u64) -> bool {
         let hit = self.touch(addr, false);
         if hit {
@@ -238,6 +301,7 @@ impl SetAssocCache {
 
     /// Performs a write lookup, updating LRU state and marking the line
     /// dirty on hit. Returns `true` on hit.
+    #[inline]
     pub fn write(&mut self, addr: u64) -> bool {
         let hit = self.touch(addr, true);
         if hit {
@@ -248,25 +312,26 @@ impl SetAssocCache {
         hit
     }
 
+    #[inline]
     fn touch(&mut self, addr: u64, mark_dirty: bool) -> bool {
         self.use_clock += 1;
         let (set, tag) = self.set_and_tag(addr);
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.last_use = self.use_clock;
-                if mark_dirty {
-                    way.dirty = true;
-                }
-                return true;
+        if let Some(slot) = self.probe(set, tag) {
+            self.last_use[slot] = self.use_clock;
+            if mark_dirty {
+                self.meta[slot] |= WAY_DIRTY;
             }
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Checks for presence without disturbing LRU or statistics.
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        self.probe(set, tag).is_some()
     }
 
     /// Inserts a line (after a miss was serviced from the next level),
@@ -278,44 +343,51 @@ impl SetAssocCache {
         self.use_clock += 1;
         self.stats.fills += 1;
         let (set, tag) = self.set_and_tag(addr);
-        let sets_count = self.config.sets() as u64;
-        let line_bytes = self.config.line_bytes as u64;
 
         // Already present (e.g. raced fills): refresh rather than duplicate.
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.last_use = self.use_clock;
-            way.dirty |= dirty;
+        if let Some(slot) = self.probe(set, tag) {
+            self.last_use[slot] = self.use_clock;
+            if dirty {
+                self.meta[slot] |= WAY_DIRTY;
+            }
             return None;
         }
 
-        let victim_idx = if let Some((i, _)) =
-            self.sets[set].iter().enumerate().find(|(_, w)| !w.valid)
-        {
-            i
-        } else {
-            self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .expect("ways is nonzero by construction")
-        };
+        // Victim: first invalid way, else the first way with the minimal
+        // LRU clock (scan order matches the original nested-Vec model).
+        let base = self.base(set);
+        let ways = self.config.ways;
+        let mut victim = base;
+        let mut victim_clock = u64::MAX;
+        let mut found_invalid = false;
+        for slot in base..base + ways {
+            if self.meta[slot] & WAY_VALID == 0 {
+                victim = slot;
+                found_invalid = true;
+                break;
+            }
+            let clock = self.last_use[slot];
+            if clock < victim_clock {
+                victim = slot;
+                victim_clock = clock;
+            }
+        }
 
-        let victim = self.sets[set][victim_idx];
-        let eviction = if victim.valid {
+        let eviction = if !found_invalid {
+            let word = self.meta[victim];
+            let was_dirty = word & WAY_DIRTY != 0;
             self.stats.evictions += 1;
-            if victim.dirty {
+            if was_dirty {
                 self.stats.writebacks += 1;
             }
-            Some(Eviction {
-                addr: (victim.tag * sets_count + set as u64) * line_bytes,
-                dirty: victim.dirty,
-            })
+            Some(Eviction { addr: self.slot_addr(victim), dirty: was_dirty })
         } else {
             None
         };
 
-        self.sets[set][victim_idx] = Way { tag, valid: true, dirty, last_use: self.use_clock };
+        self.meta[victim] =
+            (tag << TAG_SHIFT) | WAY_VALID | if dirty { WAY_DIRTY } else { 0 };
+        self.last_use[victim] = self.use_clock;
         eviction
     }
 
@@ -326,50 +398,53 @@ impl SetAssocCache {
     /// inner cache: the outer copy's pending writeback obligation is
     /// claimed and travels inward with the line, so the same logical
     /// dirty episode can never generate two writebacks.
+    #[inline]
     pub fn take_dirty(&mut self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                let was = way.dirty;
-                way.dirty = false;
-                return was;
-            }
+        if let Some(slot) = self.probe(set, tag) {
+            let was = self.meta[slot] & WAY_DIRTY != 0;
+            self.meta[slot] &= !WAY_DIRTY;
+            was
+        } else {
+            false
         }
-        false
     }
 
     /// Removes a line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
         let (set, tag) = self.set_and_tag(addr);
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.valid = false;
-                return Some(way.dirty);
-            }
-        }
-        None
+        self.probe(set, tag).map(|slot| {
+            let was = self.meta[slot] & WAY_DIRTY != 0;
+            self.meta[slot] = 0;
+            was
+        })
     }
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.meta.iter().filter(|&&w| w & WAY_VALID != 0).count()
     }
 
     /// Drains every dirty line, returning their addresses (used at
-    /// simulation end to flush pending writebacks).
+    /// simulation end to flush pending writebacks). Convenience wrapper
+    /// around [`Self::drain_dirty_into`].
     pub fn drain_dirty(&mut self) -> Vec<u64> {
-        let sets_count = self.config.sets() as u64;
-        let line_bytes = self.config.line_bytes as u64;
         let mut dirty = Vec::new();
-        for (set, ways) in self.sets.iter_mut().enumerate() {
-            for way in ways.iter_mut() {
-                if way.valid && way.dirty {
-                    dirty.push((way.tag * sets_count + set as u64) * line_bytes);
-                    way.dirty = false;
-                }
+        self.drain_dirty_into(&mut dirty);
+        dirty
+    }
+
+    /// Drains every dirty line into a caller-owned buffer (not cleared
+    /// first), clearing the dirty bits. Addresses are appended in flat
+    /// slot order — identical to the original set-major / way-minor scan.
+    pub fn drain_dirty_into(&mut self, dirty: &mut Vec<u64>) {
+        for slot in 0..self.meta.len() {
+            let word = self.meta[slot];
+            if word & (WAY_VALID | WAY_DIRTY) == (WAY_VALID | WAY_DIRTY) {
+                dirty.push(self.slot_addr(slot));
+                self.meta[slot] &= !WAY_DIRTY;
             }
         }
-        dirty
     }
 }
 

@@ -37,7 +37,9 @@ use synergy_obs::{
     AttribBucket, CycleAttribution, MetricRegistry, Observe, Span, SpanPhase, SpanTracer,
 };
 use synergy_secure::layout::Region;
-use synergy_secure::{CryptoEngine, CryptoWorkMode, DesignConfig, SecureEngine};
+use synergy_secure::{
+    CryptoEngine, CryptoWorkMode, DesignConfig, Expansion, SecureEngine,
+};
 use synergy_trace::{MultiCoreTrace, TraceRecord};
 
 use crate::analysis;
@@ -372,6 +374,58 @@ impl Core {
     }
 }
 
+/// Reusable buffers for the per-access issue path, created once per run
+/// and threaded alongside [`MemSide`] through `step_core` and the issue
+/// helpers. With these (plus the engine's inline [`Expansion`] buffers)
+/// the steady-state expand_read / expand_writeback path performs zero
+/// heap allocations — pinned by `tests/hot_path_allocations.rs`.
+///
+/// It travels as its own `&mut` parameter rather than inside `MemSide`
+/// so the issue helpers can borrow an expansion buffer and push requests
+/// into `MemSide` at the same time without split-borrow contortions.
+#[derive(Default)]
+struct Scratch {
+    /// Expansion of the access currently being issued.
+    exp: Expansion,
+    /// Expansion buffer for cascade writebacks (kept separate so the
+    /// primary expansion's eviction list stays readable mid-cascade).
+    cascade_exp: Expansion,
+    /// Worklist of dirty data lines awaiting writeback expansion.
+    pending: Vec<u64>,
+    /// Request ids the load being issued blocks on.
+    blocking: Vec<u64>,
+}
+
+/// Hasher for request-id keyed maps. Ids are sequential `u64`s handed out
+/// by [`MemSide::push_request`], so Fibonacci multiplicative hashing
+/// scatters them perfectly well and costs one multiply instead of
+/// SipHash's full pass. The maps are only ever probed by key — iteration
+/// order is never observed — so this cannot affect determinism.
+#[derive(Default, Clone, Copy)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    #[inline]
+    fn write_u64(&mut self, id: u64) {
+        self.0 = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Request-id maps only ever hash u64 keys; route any other use
+        // through a simple byte fold for correctness.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type IdHashMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<IdHasher>>;
+
 /// The memory side of the system — DRAM, its back-pressure queue, the
 /// outstanding-load map, request-id allocation and the request tracer —
 /// bundled so the issue path threads one mutable handle instead of five
@@ -381,7 +435,7 @@ struct MemSide {
     /// Requests the DRAM queues rejected, replayed in order.
     deferred: VecDeque<Request>,
     /// Request id → (core, rob position) for loads blocking retirement.
-    load_map: HashMap<u64, (usize, u64)>,
+    load_map: IdHashMap<(usize, u64)>,
     next_id: u64,
     tracer: SpanTracer,
     /// Reused DRAM drain buffer (avoids a `Vec` allocation per cycle).
@@ -395,7 +449,7 @@ struct MemSide {
     attrib_on: bool,
     /// Request id → cycle `push_request` accepted it; the completion hook
     /// telescopes push→enqueue→bank-ready→issue→complete into buckets.
-    push_cycle: HashMap<u64, u64>,
+    push_cycle: IdHashMap<u64>,
     /// DDR timing (copied out of the DRAM config so the completion loop
     /// can consult refresh geometry without re-borrowing the system).
     timing: synergy_dram::TimingParams,
@@ -412,14 +466,14 @@ impl MemSide {
         Self {
             dram,
             deferred: VecDeque::new(),
-            load_map: HashMap::new(),
+            load_map: IdHashMap::default(),
             next_id: 1,
             tracer,
             completions: Vec::with_capacity(64),
             crypto,
             attrib: CycleAttribution::new(&RequestClass::ALL.map(|c| c.name())),
             attrib_on,
-            push_cycle: HashMap::new(),
+            push_cycle: IdHashMap::default(),
             timing,
         }
     }
@@ -677,8 +731,9 @@ pub fn run(
         .map_err(|e| SystemError::InvalidConfig { reason: e.to_string() })?;
     let mut llc = SetAssocCache::new(cfg.llc);
     let mut engine = SecureEngine::new(cfg.design.clone(), cfg.data_capacity);
+    let mut scratch = Scratch::default();
 
-    warmup(cfg, trace, &mut llc, &mut engine);
+    warmup(cfg, trace, &mut llc, &mut engine, &mut scratch);
 
     let mut cores: Vec<Core> = (0..cfg.cores).map(|_| Core::new(instructions_per_core)).collect();
     let tracer = if cfg.telemetry.trace_spans {
@@ -725,17 +780,19 @@ pub fn run(
         // 1–2. DRAM advances; reads complete; deferred requests replay.
         mem.tick(&mut cores, mem_cycle);
 
-        // 3. LLC-hit loads complete.
+        // 3. LLC-hit loads complete. In-place swap_remove scan instead of
+        // a collected `due` list: each entry's `mark_progress` decrements
+        // its own load's counter, so delivery order within a cycle is
+        // immaterial and the scan allocates nothing.
         for core in cores.iter_mut() {
-            let due: Vec<u64> = core
-                .llc_hits
-                .iter()
-                .filter(|&&(at, _)| at <= mem_cycle)
-                .map(|&(_, pos)| pos)
-                .collect();
-            core.llc_hits.retain(|&(at, _)| at > mem_cycle);
-            for pos in due {
-                core.mark_progress(pos);
+            let mut i = 0;
+            while i < core.llc_hits.len() {
+                if core.llc_hits[i].0 <= mem_cycle {
+                    let (_, pos) = core.llc_hits.swap_remove(i);
+                    core.mark_progress(pos);
+                } else {
+                    i += 1;
+                }
             }
         }
 
@@ -753,6 +810,7 @@ pub fn run(
                     &mut llc,
                     &mut engine,
                     &mut mem,
+                    &mut scratch,
                 );
             }
         }
@@ -917,6 +975,7 @@ fn warmup(
     trace: &mut MultiCoreTrace,
     llc: &mut SetAssocCache,
     engine: &mut SecureEngine,
+    scratch: &mut Scratch,
 ) {
     for _ in 0..cfg.warmup_records_per_core {
         for core in 0..cfg.cores {
@@ -927,8 +986,9 @@ fn warmup(
                     let _ = llc.fill(addr, true);
                 }
             } else if !llc.read(addr) {
-                // Metadata caches fill as they would on a real miss.
-                let _ = engine.expand_read(addr, llc);
+                // Metadata caches fill as they would on a real miss; the
+                // expansion itself is discarded.
+                engine.expand_read_into(addr, llc, &mut scratch.exp);
                 let _ = llc.fill(addr, false);
             }
         }
@@ -948,6 +1008,7 @@ fn step_core(
     llc: &mut SetAssocCache,
     engine: &mut SecureEngine,
     mem: &mut MemSide,
+    scratch: &mut Scratch,
 ) {
     core.retire(cfg.retire_width, cpu_cycle);
     if core.finished() {
@@ -984,7 +1045,7 @@ fn step_core(
 
         let addr = (rec.addr % cfg.data_capacity) & !63;
         if rec.is_write {
-            issue_store(addr, cfg, engine, llc, mem, mem_cycle);
+            issue_store(addr, cfg, engine, llc, mem, mem_cycle, scratch);
         } else {
             let pos = core.fetch_pos;
             if llc.read(addr) {
@@ -992,8 +1053,8 @@ fn step_core(
                 core.llc_hits.push((mem_cycle + cfg.llc_hit_latency, pos));
                 mem.note_llc_hit(cfg.llc_hit_latency);
             } else {
-                let (ids, diagnosis) = issue_load_miss(addr, engine, llc, mem, mem_cycle);
-                let mut remaining = ids.len() as u32;
+                let diagnosis = issue_load_miss(addr, engine, llc, mem, mem_cycle, scratch);
+                let mut remaining = scratch.blocking.len() as u32;
                 if diagnosis {
                     // First detection of the failed chip: the trial-
                     // reconstruction burst recomputes MACs serially before
@@ -1014,7 +1075,7 @@ fn step_core(
                     }
                 }
                 core.loads.push_back(OutstandingLoad { pos, remaining });
-                for id in ids {
+                for &id in &scratch.blocking {
                     mem.load_map.insert(id, (core_idx, pos));
                 }
             }
@@ -1025,22 +1086,24 @@ fn step_core(
     }
 }
 
-/// Expands and issues a load miss; returns the request ids the load blocks
-/// on — the data read plus the counter-chain reads (the counter is needed
-/// for decryption, tree nodes for its verification — all fetched in
-/// parallel) — and whether this read performed the one-time failed-chip
-/// diagnosis burst (the caller charges its MAC latency). MAC reads verify
-/// off the critical path (the paper's speculative-use assumption);
-/// parity/writeback traffic is posted, and the degraded parity-line fetch
-/// follows the same rule (reconstruction pipelines with verification).
+/// Expands and issues a load miss; leaves the request ids the load blocks
+/// on in `scratch.blocking` — the data read plus the counter-chain reads
+/// (the counter is needed for decryption, tree nodes for its verification
+/// — all fetched in parallel) — and returns whether this read performed
+/// the one-time failed-chip diagnosis burst (the caller charges its MAC
+/// latency). MAC reads verify off the critical path (the paper's
+/// speculative-use assumption); parity/writeback traffic is posted, and
+/// the degraded parity-line fetch follows the same rule (reconstruction
+/// pipelines with verification).
 fn issue_load_miss(
     addr: u64,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
     mem: &mut MemSide,
     cycle: u64,
-) -> (Vec<u64>, bool) {
-    let expansion = engine.expand_read(addr, llc);
+    scratch: &mut Scratch,
+) -> bool {
+    engine.expand_read_into(addr, llc, &mut scratch.exp);
     // In a MAC-tree (non-Bonsai) design like IVEC, the MAC chain *is* the
     // integrity mechanism: its fetches gate data use. Bonsai designs
     // verify the MAC off the critical path (the counter tree alone
@@ -1050,8 +1113,8 @@ fn issue_load_miss(
     // PoisonIvy-style speculation (§VII-B): unverified data is consumed
     // immediately; metadata fetches cost bandwidth only.
     let speculative = engine.design().speculative_verification;
-    let mut blocking = Vec::with_capacity(2);
-    for spec in &expansion.accesses {
+    scratch.blocking.clear();
+    for spec in &scratch.exp.accesses {
         let id = mem.push_request(*spec, cycle);
         let blocks = spec.kind == AccessKind::Read
             && match spec.class {
@@ -1061,13 +1124,15 @@ fn issue_load_miss(
                 RequestClass::Parity => false,
             };
         if blocks {
-            blocking.push(id);
+            scratch.blocking.push(id);
         }
     }
     // Fill the data line; handle displaced lines.
-    fill_data_line(addr, false, engine, llc, mem, cycle);
-    cascade_writebacks(expansion.evicted_dirty_data, engine, llc, mem, cycle);
-    (blocking, expansion.diagnosis)
+    fill_data_line(addr, false, engine, llc, mem, cycle, scratch);
+    scratch.pending.clear();
+    scratch.pending.extend_from_slice(&scratch.exp.evicted_dirty_data);
+    cascade_writebacks(engine, llc, mem, cycle, scratch);
+    scratch.exp.diagnosis
 }
 
 /// A store: write-allocate into the LLC; dirty evictions become
@@ -1082,17 +1147,20 @@ fn issue_store(
     llc: &mut SetAssocCache,
     mem: &mut MemSide,
     cycle: u64,
+    scratch: &mut Scratch,
 ) {
     if !llc.write(addr) {
         if cfg.store_miss == StoreMissPolicy::FetchAndVerify {
-            let expansion = engine.expand_read(addr, llc);
-            for spec in &expansion.accesses {
+            engine.expand_read_into(addr, llc, &mut scratch.exp);
+            for spec in &scratch.exp.accesses {
                 mem.push_request(*spec, cycle);
             }
-            fill_data_line(addr, true, engine, llc, mem, cycle);
-            cascade_writebacks(expansion.evicted_dirty_data, engine, llc, mem, cycle);
+            fill_data_line(addr, true, engine, llc, mem, cycle, scratch);
+            scratch.pending.clear();
+            scratch.pending.extend_from_slice(&scratch.exp.evicted_dirty_data);
+            cascade_writebacks(engine, llc, mem, cycle, scratch);
         } else {
-            fill_data_line(addr, true, engine, llc, mem, cycle);
+            fill_data_line(addr, true, engine, llc, mem, cycle, scratch);
         }
     }
 }
@@ -1104,11 +1172,16 @@ fn fill_data_line(
     llc: &mut SetAssocCache,
     mem: &mut MemSide,
     cycle: u64,
+    scratch: &mut Scratch,
 ) {
     if let Some(ev) = llc.fill(addr, dirty) {
         if ev.dirty {
             match engine.layout().classify(ev.addr) {
-                Region::Data => cascade_writebacks(vec![ev.addr], engine, llc, mem, cycle),
+                Region::Data => {
+                    scratch.pending.clear();
+                    scratch.pending.push(ev.addr);
+                    cascade_writebacks(engine, llc, mem, cycle, scratch);
+                }
                 _ => {
                     let spec = synergy_secure::AccessSpec {
                         addr: ev.addr,
@@ -1124,19 +1197,21 @@ fn fill_data_line(
 
 /// Expands data writebacks, following any further dirty-data displacement
 /// caused by metadata fills (terminates: every step removes a dirty line).
+/// The worklist is `scratch.pending`, seeded by the caller; `scratch.exp`
+/// is left untouched so callers can still read the triggering expansion.
 fn cascade_writebacks(
-    mut pending: Vec<u64>,
     engine: &mut SecureEngine,
     llc: &mut SetAssocCache,
     mem: &mut MemSide,
     cycle: u64,
+    scratch: &mut Scratch,
 ) {
-    while let Some(addr) = pending.pop() {
-        let expansion = engine.expand_writeback(addr, llc);
-        for spec in &expansion.accesses {
+    while let Some(addr) = scratch.pending.pop() {
+        engine.expand_writeback_into(addr, llc, &mut scratch.cascade_exp);
+        for spec in &scratch.cascade_exp.accesses {
             mem.push_request(*spec, cycle);
         }
-        pending.extend(expansion.evicted_dirty_data);
+        scratch.pending.extend_from_slice(&scratch.cascade_exp.evicted_dirty_data);
     }
 }
 

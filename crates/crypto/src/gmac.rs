@@ -193,14 +193,35 @@ impl Gmac {
     }
 }
 
+/// Debug-build tripwire for the one-shot helpers below: each call repeats
+/// full key setup, so any hot loop reaching for them is a performance bug
+/// (the simulator issues millions of tags per run — through [`Gmac`]).
+/// The threshold is far above any sane one-off/test usage.
+#[cfg(debug_assertions)]
+fn debit_one_shot_budget() {
+    use core::sync::atomic::{AtomicU64, Ordering};
+    static ONE_SHOT_CALLS: AtomicU64 = AtomicU64::new(0);
+    let calls = ONE_SHOT_CALLS.fetch_add(1, Ordering::Relaxed) + 1;
+    debug_assert!(
+        calls <= 4096,
+        "gmac::compute/verify called {calls} times — these re-run AES key \
+         setup per call; hold a Gmac and use line_tag/verify_line instead"
+    );
+}
+
+#[cfg(not(debug_assertions))]
+fn debit_one_shot_budget() {}
+
 /// One-shot convenience: compute the 64-bit GMAC of a cacheline.
 ///
 /// **Warning — not for hot paths.** Each call runs full key setup: the AES
 /// key schedule plus (on the table backend) the 64 KiB GHASH window table,
 /// thousands of times the cost of the tag itself. Hold a [`Gmac`] and call
 /// [`Gmac::line_tag`] / [`Gmac::line_tags_batch`] when computing more than
-/// one tag under the same key.
+/// one tag under the same key. Debug builds panic if a process exceeds a
+/// generous process-wide one-shot budget (4096 calls).
 pub fn compute(key: &MacKey, addr: u64, counter: u64, line: &CacheLine) -> u64 {
+    debit_one_shot_budget();
     Gmac::new(key).line_tag(addr, counter, line)
 }
 
@@ -208,8 +229,10 @@ pub fn compute(key: &MacKey, addr: u64, counter: u64, line: &CacheLine) -> u64 {
 ///
 /// **Warning — not for hot paths.** Repeats full key setup per call; see
 /// [`compute`]. Hold a [`Gmac`] and use [`Gmac::verify_line`] /
-/// [`Gmac::verify_lines_batch`] instead.
+/// [`Gmac::verify_lines_batch`] instead. Debug builds panic past a
+/// generous process-wide one-shot budget.
 pub fn verify(key: &MacKey, addr: u64, counter: u64, line: &CacheLine, tag: u64) -> bool {
+    debit_one_shot_budget();
     Gmac::new(key).verify_line(addr, counter, line, tag)
 }
 

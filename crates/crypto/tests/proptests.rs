@@ -104,10 +104,10 @@ proptest! {
     fn line_views_roundtrip(words in any::<[u64; 8]>()) {
         let line = CacheLine::from_words(words);
         prop_assert_eq!(line.to_words(), words);
-        for chip in 0..8 {
+        for (chip, &word) in words.iter().enumerate() {
             prop_assert_eq!(
                 u64::from_le_bytes(line.chip_slice(chip)),
-                words[chip]
+                word
             );
         }
     }

@@ -314,18 +314,33 @@ impl Channel {
         kind: AccessKind,
     ) -> Option<Candidate> {
         // Pass 1 — FR: oldest request whose column command is ready now.
+        // Bus readiness depends only on the queue kind, not the request;
+        // compute it once for the whole scan.
+        let bus_ready = self.bus_ready(t, kind);
         if let Some((idx, _)) = self
             .queue(kind)
             .iter()
             .enumerate()
-            .find(|(_, q)| self.col_command_ready(cycle, t, q, kind))
+            .find(|(_, q)| self.col_command_ready(cycle, t, q, kind, bus_ready))
         {
             return Some(Candidate::Col(kind, idx));
         }
 
         // Pass 2 — FCFS: oldest requests' row commands (ACT or PRE).
+        // Whether a bank can accept its row command is independent of the
+        // requesting row (`ready_pre`, `act_allowed` and the row-hit guard
+        // are all bank/rank-level), so once the oldest request for a bank
+        // proves blocked, every younger same-bank request is too — skip
+        // them via a per-bank bitmap instead of re-running the O(queue)
+        // row-hit scan. The first *unblocked* request still returns
+        // immediately, so the chosen candidate is unchanged.
+        let mut blocked_banks = 0u64;
         self.queue(kind).iter().find_map(|q| {
             let bank = &self.banks[q.loc.rank][q.loc.bank];
+            let bit = self.bank_bit(q.loc);
+            if blocked_banks & bit != 0 {
+                return None;
+            }
             match bank.open_row {
                 Some(row) if row == q.loc.row => None, // waiting on tCCD/bus only
                 Some(_) => {
@@ -334,6 +349,7 @@ impl Channel {
                     if cycle >= bank.ready_pre && !self.row_has_waiting_hit(q.loc) {
                         Some(Candidate::Pre(q.loc))
                     } else {
+                        blocked_banks |= bit;
                         None
                     }
                 }
@@ -341,11 +357,24 @@ impl Channel {
                     if self.act_allowed(cycle, t, q.loc) {
                         Some(Candidate::Act(q.loc))
                     } else {
+                        blocked_banks |= bit;
                         None
                     }
                 }
             }
         })
+    }
+
+    /// One bit per (rank, bank) for small dedup bitmaps. Banks beyond the
+    /// first 64 of a channel get no bit (0): they are simply never
+    /// deduplicated, which is slower but identical in behaviour.
+    fn bank_bit(&self, loc: DramLocation) -> u64 {
+        let id = loc.rank * self.banks[0].len() + loc.bank;
+        if id < 64 {
+            1u64 << id
+        } else {
+            0
+        }
     }
 
     /// A conservative lower bound (> `cycle`) on the next cycle at which
@@ -360,50 +389,64 @@ impl Channel {
     fn next_issue_cycle(&self, cycle: u64, t: &TimingParams) -> u64 {
         let mut earliest = u64::MAX;
         for kind in [AccessKind::Read, AccessKind::Write] {
+            // Every bound below is a bank/rank-level quantity (the
+            // requesting row only selects the match arm, and a bank's
+            // open/closed state is fixed within this read-only scan), so
+            // each (bank, arm) pair contributes one distinct value: skip
+            // repeats with per-arm bitmaps. A bank is either open or
+            // closed for the whole scan, so col and ACT can share one.
+            let bus_ready = self.bus_ready(t, kind);
+            let lead = match kind {
+                AccessKind::Read => t.t_cas,
+                AccessKind::Write => t.t_cwd,
+            };
+            let mut seen_row_match = 0u64; // col (open) / ACT (closed)
+            let mut seen_pre = 0u64;
             for q in self.queue(kind) {
                 let bank = &self.banks[q.loc.rank][q.loc.bank];
+                let bit = self.bank_bit(q.loc);
                 let candidate = match bank.open_row {
                     Some(row) if row == q.loc.row => {
+                        if seen_row_match & bit != 0 {
+                            continue;
+                        }
+                        seen_row_match |= bit;
                         // Column command: bank CAS readiness and the data
                         // bus (data_start = issue + CAS/CWD lead must not
                         // precede the bus becoming free).
-                        let lead = match kind {
-                            AccessKind::Read => t.t_cas,
-                            AccessKind::Write => t.t_cwd,
-                        };
-                        let mut bus_ready = self.bus_free_at;
-                        if let Some(last) = self.last_bus_op {
-                            if last != kind {
-                                bus_ready += t.t_turnaround;
-                                if last == AccessKind::Write && kind == AccessKind::Read {
-                                    bus_ready += t.t_wtr;
-                                }
-                            }
-                        }
                         bank.ready_col.max(bus_ready.saturating_sub(lead))
                     }
                     Some(_) => {
+                        if seen_pre & bit != 0 {
+                            continue;
+                        }
+                        seen_pre |= bit;
                         if self.row_has_waiting_hit(q.loc) {
                             continue;
                         }
                         bank.ready_pre
                     }
                     None => {
+                        if seen_row_match & bit != 0 {
+                            continue;
+                        }
+                        seen_row_match |= bit;
                         let rank = &self.ranks[q.loc.rank];
                         let mut c = bank.ready_act;
                         if rank.last_act != 0 {
                             c = c.max(rank.last_act + t.t_rrd);
                         }
-                        let in_window: Vec<u64> = rank
-                            .act_window
-                            .iter()
-                            .copied()
-                            .filter(|&at| at + t.t_faw > cycle)
-                            .collect();
-                        if in_window.len() >= 4 {
+                        let mut in_window = 0usize;
+                        let mut oldest = u64::MAX;
+                        for &at in &rank.act_window {
+                            if at + t.t_faw > cycle {
+                                in_window += 1;
+                                oldest = oldest.min(at);
+                            }
+                        }
+                        if in_window >= 4 {
                             // The oldest in-window ACT expiring frees a
                             // tFAW slot.
-                            let oldest = in_window.iter().min().copied().unwrap_or(0);
                             c = c.max(oldest + t.t_faw);
                         }
                         c
@@ -426,15 +469,9 @@ impl Channel {
             .any(|q| q.loc.rank == loc.rank && q.loc.bank == loc.bank && q.loc.row == open)
     }
 
-    fn col_command_ready(&self, cycle: u64, t: &TimingParams, q: &Queued, kind: AccessKind) -> bool {
-        let bank = &self.banks[q.loc.rank][q.loc.bank];
-        if bank.open_row != Some(q.loc.row) || cycle < bank.ready_col {
-            return false;
-        }
-        let data_start = match kind {
-            AccessKind::Read => cycle + t.t_cas,
-            AccessKind::Write => cycle + t.t_cwd,
-        };
+    /// Earliest cycle the data bus can start a burst of `kind`, including
+    /// any turnaround/WTR penalty versus the last burst.
+    fn bus_ready(&self, t: &TimingParams, kind: AccessKind) -> u64 {
         let mut bus_ready = self.bus_free_at;
         if let Some(last) = self.last_bus_op {
             if last != kind {
@@ -444,6 +481,25 @@ impl Channel {
                 }
             }
         }
+        bus_ready
+    }
+
+    fn col_command_ready(
+        &self,
+        cycle: u64,
+        t: &TimingParams,
+        q: &Queued,
+        kind: AccessKind,
+        bus_ready: u64,
+    ) -> bool {
+        let bank = &self.banks[q.loc.rank][q.loc.bank];
+        if bank.open_row != Some(q.loc.row) || cycle < bank.ready_col {
+            return false;
+        }
+        let data_start = match kind {
+            AccessKind::Read => cycle + t.t_cas,
+            AccessKind::Write => cycle + t.t_cwd,
+        };
         data_start >= bus_ready
     }
 

@@ -262,16 +262,14 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut cfg = DramConfig::default();
-        cfg.channels = 0;
+        let cfg = DramConfig { channels: 0, ..DramConfig::default() };
         assert!(cfg.validate().is_err());
 
         let mut cfg = DramConfig::default();
         cfg.write_lo_watermark = cfg.write_hi_watermark;
         assert!(cfg.validate().is_err());
 
-        let mut cfg = DramConfig::default();
-        cfg.line_bytes = 48;
+        let cfg = DramConfig { line_bytes: 48, ..DramConfig::default() };
         assert!(cfg.validate().is_err());
     }
 

@@ -337,11 +337,9 @@ mod tests {
         let cfg = DramConfig::default();
         let hi = cfg.write_hi_watermark;
         let mut mem = MemorySystem::new(cfg).unwrap();
-        let mut wid = 1000u64;
-        for i in 0..(hi + 10) as u64 {
+        for (wid, i) in (1000u64..).zip(0..(hi + 10) as u64) {
             // All writes to channel 0 (even lines).
             assert!(mem.enqueue(write(wid, i * 128)), "write {i}");
-            wid += 1;
         }
         mem.enqueue(read(1, 0));
         let done = mem.run_until_idle(100_000);

@@ -70,8 +70,7 @@ mod tests {
     #[test]
     fn energy_scales_with_events() {
         let p = PowerParams::default();
-        let mut s = DramStats::default();
-        s.activates = 1000;
+        let mut s = DramStats { activates: 1000, ..DramStats::default() };
         s.reads_by_class[0] = 500;
         s.writes_by_class[0] = 250;
         s.bursts = 750;

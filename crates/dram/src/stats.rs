@@ -188,9 +188,11 @@ mod tests {
 
     #[test]
     fn totals_sum_classes() {
-        let mut s = DramStats::default();
-        s.reads_by_class = [10, 5, 3, 2, 0];
-        s.writes_by_class = [4, 1, 1, 0, 2];
+        let s = DramStats {
+            reads_by_class: [10, 5, 3, 2, 0],
+            writes_by_class: [4, 1, 1, 0, 2],
+            ..DramStats::default()
+        };
         assert_eq!(s.total_reads(), 20);
         assert_eq!(s.total_writes(), 8);
         assert_eq!(s.total_accesses(), 28);

@@ -36,6 +36,7 @@
 pub mod attrib;
 pub mod export;
 pub mod hist;
+pub mod inline_vec;
 pub mod json;
 pub mod registry;
 pub mod span;
@@ -44,6 +45,7 @@ pub mod trace_export;
 
 pub use attrib::{AttribBucket, CycleAttribution};
 pub use hist::{HistogramSummary, LogHistogram};
+pub use inline_vec::InlineVec;
 pub use json::Json;
 pub use registry::{metric_name, EpochSample, Metric, MetricRegistry, Observe};
 pub use span::{Span, SpanPhase, SpanTracer};

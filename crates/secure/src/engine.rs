@@ -23,6 +23,7 @@
 
 use synergy_cache::{CacheConfig, CacheStats, SetAssocCache};
 use synergy_dram::{AccessKind, RequestClass};
+use synergy_obs::InlineVec;
 
 use crate::design::{ChipFailureResponse, DesignConfig, MacPlacement};
 use crate::layout::{MetadataLayout, Region, TreeLeaves};
@@ -38,14 +39,37 @@ pub struct AccessSpec {
     pub class: RequestClass,
 }
 
+impl Default for AccessSpec {
+    fn default() -> Self {
+        Self { addr: 0, kind: AccessKind::Read, class: RequestClass::Data }
+    }
+}
+
+/// Inline capacity of [`Expansion::accesses`]. The deepest expansion any
+/// Table II design produces is data + MAC + counter + a full cold tree
+/// walk (≤ 10 levels for a 16 GB+ memory) plus dirty-victim writebacks
+/// from each fill — 32 slots absorb every case observed in practice;
+/// pathological cascades spill to the heap once and then reuse that
+/// capacity.
+pub const EXPANSION_INLINE_ACCESSES: usize = 32;
+
+/// Inline capacity of [`Expansion::evicted_dirty_data`]: at most one data
+/// victim per LLC fill of the expansion, typically 0–2.
+pub const EXPANSION_INLINE_EVICTIONS: usize = 8;
+
 /// The result of expanding one data access.
+///
+/// Both buffers hold their elements inline (no heap allocation) up to the
+/// `EXPANSION_INLINE_*` capacities; a reused `Expansion` — see
+/// [`SecureEngine::expand_read_into`] — is allocation-free in steady
+/// state even if an early pathological access spilled it.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Expansion {
     /// DRAM accesses to issue (the data access itself is first).
-    pub accesses: Vec<AccessSpec>,
+    pub accesses: InlineVec<AccessSpec, EXPANSION_INLINE_ACCESSES>,
     /// Dirty *data* lines displaced from the LLC by metadata fills; the
     /// caller must expand each as a data writeback (cascade).
-    pub evicted_dirty_data: Vec<u64>,
+    pub evicted_dirty_data: InlineVec<u64, EXPANSION_INLINE_EVICTIONS>,
     /// True when this read performed the one-time failed-chip diagnosis
     /// burst (§III-B trial reconstruction, first detection after
     /// [`SecureEngine::fail_chip`]): the system layer charges the burst's
@@ -54,6 +78,13 @@ pub struct Expansion {
 }
 
 impl Expansion {
+    /// Empties the expansion for reuse, retaining any spill capacity.
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+        self.evicted_dirty_data.clear();
+        self.diagnosis = false;
+    }
+
     fn read(&mut self, addr: u64, class: RequestClass) {
         self.accesses.push(AccessSpec { addr, kind: AccessKind::Read, class });
     }
@@ -245,26 +276,48 @@ impl SecureEngine {
         self.metadata_cache.drain_dirty()
     }
 
+    /// [`Self::drain_dirty_metadata`] into a caller-owned buffer (not
+    /// cleared first).
+    pub fn drain_dirty_metadata_into(&mut self, dirty: &mut Vec<u64>) {
+        self.metadata_cache.drain_dirty_into(dirty);
+    }
+
     /// Expands an off-chip data *read* (LLC miss) into DRAM accesses.
+    ///
+    /// Convenience wrapper around [`Self::expand_read_into`] that returns
+    /// a fresh [`Expansion`]; hot loops should own a reusable buffer and
+    /// call the `_into` form directly.
     pub fn expand_read(&mut self, data_addr: u64, llc: &mut SetAssocCache) -> Expansion {
-        self.stats.data_reads += 1;
         let mut out = Expansion::default();
+        self.expand_read_into(data_addr, llc, &mut out);
+        out
+    }
+
+    /// Expands an off-chip data *read* (LLC miss) into `out`, which is
+    /// cleared first. With a warmed `out` this is allocation-free.
+    pub fn expand_read_into(
+        &mut self,
+        data_addr: u64,
+        llc: &mut SetAssocCache,
+        out: &mut Expansion,
+    ) {
+        self.stats.data_reads += 1;
+        out.clear();
         out.read(data_addr, RequestClass::Data);
         if self.design.secure {
-            self.mac_on_read(data_addr, llc, &mut out);
+            self.mac_on_read(data_addr, llc, out);
 
             let ctr_addr = self.layout.counter_line_addr(data_addr);
-            let ctr_hit = self.fetch_counter_line(ctr_addr, llc, false, &mut out);
+            let ctr_hit = self.fetch_counter_line(ctr_addr, llc, false, out);
             // Bonsai designs verify counters up the counter tree. IVEC's
             // tree covers MAC lines instead — its walk is in `mac_on_read`.
             if !ctr_hit && self.design.tree_leaves == TreeLeaves::CounterLines {
-                self.walk_tree(ctr_addr, llc, &mut out);
+                self.walk_tree(ctr_addr, llc, out);
             }
         }
         if self.failed_chip.is_some() {
-            self.degraded_read(data_addr, llc, &mut out);
+            self.degraded_read(data_addr, llc, out);
         }
-        out
     }
 
     /// The §IV-A degraded-mode read flow. A data line stripes across all
@@ -304,23 +357,41 @@ impl SecureEngine {
     }
 
     /// Expands an off-chip data *writeback* (dirty LLC eviction).
+    ///
+    /// Convenience wrapper around [`Self::expand_writeback_into`] that
+    /// returns a fresh [`Expansion`]; hot loops should own a reusable
+    /// buffer and call the `_into` form directly.
     pub fn expand_writeback(&mut self, data_addr: u64, llc: &mut SetAssocCache) -> Expansion {
-        self.stats.data_writebacks += 1;
         let mut out = Expansion::default();
+        self.expand_writeback_into(data_addr, llc, &mut out);
+        out
+    }
+
+    /// Expands an off-chip data *writeback* (dirty LLC eviction) into
+    /// `out`, which is cleared first. With a warmed `out` this is
+    /// allocation-free.
+    pub fn expand_writeback_into(
+        &mut self,
+        data_addr: u64,
+        llc: &mut SetAssocCache,
+        out: &mut Expansion,
+    ) {
+        self.stats.data_writebacks += 1;
+        out.clear();
         out.write(data_addr, RequestClass::Data);
         if !self.design.secure {
-            return out;
+            return;
         }
 
         // Counter increment: the line must be resident to bump it, then it
         // becomes dirty in the metadata cache.
         let ctr_addr = self.layout.counter_line_addr(data_addr);
-        let ctr_hit = self.fetch_counter_line(ctr_addr, llc, true, &mut out);
+        let ctr_hit = self.fetch_counter_line(ctr_addr, llc, true, out);
         if self.design.tree_leaves == TreeLeaves::CounterLines {
             if !ctr_hit {
-                self.walk_tree(ctr_addr, llc, &mut out);
+                self.walk_tree(ctr_addr, llc, out);
             }
-            self.dirty_walk(ctr_addr, llc, &mut out);
+            self.dirty_walk(ctr_addr, llc, out);
         }
 
         // MAC update.
@@ -333,7 +404,7 @@ impl SecureEngine {
                 let mac_addr = self.layout.mac_line_addr(data_addr);
                 if !llc.write(mac_addr) {
                     // Partial-line MAC merge: allocate dirty without a fetch.
-                    self.llc_fill(mac_addr, true, llc, &mut out);
+                    self.llc_fill(mac_addr, true, llc, out);
                 }
                 // IVEC: the changed MAC must propagate up the Merkle
                 // tree. A cached ancestor absorbs the update; a missing
@@ -341,13 +412,13 @@ impl SecureEngine {
                 // modified child), dirtied, and the propagation continues
                 // — the eager write-path cost of a non-Bonsai tree.
                 if self.design.tree_leaves == TreeLeaves::MacLines {
-                    for node in self.layout.tree_path(mac_addr) {
+                    for node in self.layout.tree_path_iter(mac_addr) {
                         if llc.write(node) {
                             break;
                         }
                         out.read(node, RequestClass::TreeNode);
                         self.stats.tree_fetches += 1;
-                        self.llc_fill(node, true, llc, &mut out);
+                        self.llc_fill(node, true, llc, out);
                     }
                 }
             }
@@ -359,7 +430,6 @@ impl SecureEngine {
             self.parity_accumulator -= 1.0;
             out.write(self.layout.parity_line_addr(data_addr), RequestClass::Parity);
         }
-        out
     }
 
     /// MAC handling on the read path.
@@ -430,7 +500,7 @@ impl SecureEngine {
     /// Walks the integrity tree upward from leaf line `leaf_addr`,
     /// fetching nodes until one hits in a cache (or the on-chip root).
     fn walk_tree(&mut self, leaf_addr: u64, llc: &mut SetAssocCache, out: &mut Expansion) {
-        for node in self.layout.tree_path(leaf_addr) {
+        for node in self.layout.tree_path_iter(leaf_addr) {
             let hit = self.fetch_metadata_line(node, RequestClass::TreeNode, llc, false, out);
             if hit != MetaHit::Memory {
                 return; // verified against a trusted cached copy
@@ -450,7 +520,7 @@ impl SecureEngine {
     /// value derives from the modified child, not from DRAM — and
     /// propagation continues to its parent.
     fn dirty_walk(&mut self, leaf_addr: u64, llc: &mut SetAssocCache, out: &mut Expansion) {
-        for node in self.layout.tree_path(leaf_addr) {
+        for node in self.layout.tree_path_iter(leaf_addr) {
             let (use_dedicated, use_llc) = self.caching_policy(self.layout.classify(node));
             if use_dedicated && self.metadata_cache.contains(node) {
                 self.metadata_cache.write(node);

@@ -39,6 +39,15 @@ impl CounterOrg {
             CounterOrg::Split => 64,
         }
     }
+
+    /// `log2(counters_per_line)` — both organizations are powers of two,
+    /// so per-access divisions reduce to shifts.
+    pub fn counters_per_line_shift(self) -> u32 {
+        match self {
+            CounterOrg::Monolithic => 3,
+            CounterOrg::Split => 6,
+        }
+    }
 }
 
 /// What the integrity tree's leaves protect.
@@ -84,11 +93,25 @@ pub struct MetadataLayout {
     /// Base address and node count of each in-memory tree level,
     /// level 0 first.
     tree_levels: Vec<(u64, u64)>,
+    /// One-past-the-end address of each tree level (prefix table for
+    /// branch-light [`Self::classify`]), parallel to `tree_levels`.
+    tree_level_ends: Box<[u64]>,
+    /// `log2(counters_per_line)` — counter-line math without div/mod.
+    counter_shift: u32,
+    /// `counters_per_line - 1`.
+    counter_slot_mask: u64,
+    /// Base address of the tree-leaf region (counter or MAC region).
+    tree_leaf_base: u64,
+    /// Number of lines in the tree-leaf region.
+    tree_leaf_lines: u64,
     total_bytes: u64,
 }
 
 /// Cacheline size (fixed at 64 bytes).
 pub const LINE: u64 = 64;
+
+/// `log2(LINE)` — line math throughout the layout is shift/mask.
+pub const LINE_SHIFT: u32 = 6;
 
 impl MetadataLayout {
     /// Builds the layout for `data_bytes` of protected data.
@@ -126,6 +149,12 @@ impl MetadataLayout {
             leaf_count = nodes;
         }
 
+        let tree_level_ends: Box<[u64]> =
+            tree_levels.iter().map(|&(b, n)| b + n * LINE).collect();
+        let (tree_leaf_base, tree_leaf_lines) = match tree_leaves {
+            TreeLeaves::CounterLines => (counter_base, counter_lines),
+            TreeLeaves::MacLines => (mac_base, mac_lines),
+        };
         Self {
             data_bytes,
             counter_org,
@@ -137,6 +166,11 @@ impl MetadataLayout {
             parity_base,
             parity_bytes,
             tree_levels,
+            tree_level_ends,
+            counter_shift: counter_org.counters_per_line_shift(),
+            counter_slot_mask: counter_org.counters_per_line() - 1,
+            tree_leaf_base,
+            tree_leaf_lines,
             total_bytes: base,
         }
     }
@@ -171,16 +205,17 @@ impl MetadataLayout {
     /// # Panics
     ///
     /// Panics if `data_addr` is outside the data region.
+    #[inline]
     pub fn counter_line_addr(&self, data_addr: u64) -> u64 {
         self.assert_data(data_addr);
-        let line = data_addr / LINE;
-        self.counter_base + (line / self.counter_org.counters_per_line()) * LINE
+        self.counter_base + ((data_addr >> (LINE_SHIFT + self.counter_shift)) << LINE_SHIFT)
     }
 
     /// Which counter slot within its line `data_addr` uses.
+    #[inline]
     pub fn counter_slot(&self, data_addr: u64) -> usize {
         self.assert_data(data_addr);
-        ((data_addr / LINE) % self.counter_org.counters_per_line()) as usize
+        ((data_addr >> LINE_SHIFT) & self.counter_slot_mask) as usize
     }
 
     /// Address of the MAC line covering `data_addr` (8 MACs per line).
@@ -188,15 +223,17 @@ impl MetadataLayout {
     /// # Panics
     ///
     /// Panics if `data_addr` is outside the data region.
+    #[inline]
     pub fn mac_line_addr(&self, data_addr: u64) -> u64 {
         self.assert_data(data_addr);
-        self.mac_base + ((data_addr / LINE) / 8) * LINE
+        self.mac_base + ((data_addr >> (LINE_SHIFT + 3)) << LINE_SHIFT)
     }
 
     /// MAC slot within its line.
+    #[inline]
     pub fn mac_slot(&self, data_addr: u64) -> usize {
         self.assert_data(data_addr);
-        ((data_addr / LINE) % 8) as usize
+        ((data_addr >> LINE_SHIFT) & 7) as usize
     }
 
     /// Address of the parity line covering `data_addr` (8 parities per
@@ -205,15 +242,17 @@ impl MetadataLayout {
     /// # Panics
     ///
     /// Panics if `data_addr` is outside the data region.
+    #[inline]
     pub fn parity_line_addr(&self, data_addr: u64) -> u64 {
         self.assert_data(data_addr);
-        self.parity_base + ((data_addr / LINE) / 8) * LINE
+        self.parity_base + ((data_addr >> (LINE_SHIFT + 3)) << LINE_SHIFT)
     }
 
     /// Parity slot within its line.
+    #[inline]
     pub fn parity_slot(&self, data_addr: u64) -> usize {
         self.assert_data(data_addr);
-        ((data_addr / LINE) % 8) as usize
+        ((data_addr >> LINE_SHIFT) & 7) as usize
     }
 
     /// Base address of the counter region.
@@ -283,24 +322,42 @@ impl MetadataLayout {
     ///
     /// Panics if `leaf_addr` is not in the leaf region.
     pub fn tree_path(&self, leaf_addr: u64) -> Vec<u64> {
-        let (leaf_base, leaf_lines) = match self.tree_leaves {
-            TreeLeaves::CounterLines => (self.counter_base, self.counter_bytes / LINE),
-            TreeLeaves::MacLines => (self.mac_base, self.mac_bytes / LINE),
-        };
+        self.tree_path_iter(leaf_addr).collect()
+    }
+
+    /// Iterator form of [`Self::tree_path`]: yields the protecting node
+    /// addresses from level 0 upward without heap allocation. The
+    /// iterator is fully owned (tree levels are contiguous, each an
+    /// 8-ary `div_ceil` reduction of the one below, so the walk needs no
+    /// borrow of the layout) — the secure engine's per-access tree walks
+    /// use this form while mutating caches mid-walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_addr` is not in the leaf region.
+    #[inline]
+    pub fn tree_path_iter(&self, leaf_addr: u64) -> TreePathIter {
         assert!(
-            leaf_addr >= leaf_base && leaf_addr < leaf_base + leaf_lines * LINE,
+            leaf_addr >= self.tree_leaf_base
+                && leaf_addr < self.tree_leaf_base + (self.tree_leaf_lines << LINE_SHIFT),
             "address {leaf_addr:#x} is not a tree leaf"
         );
-        let mut idx = (leaf_addr - leaf_base) / LINE;
-        let mut path = Vec::with_capacity(self.tree_levels.len());
-        for level in 0..self.tree_levels.len() {
-            idx /= 8;
-            path.push(self.tree_node_addr(level, idx));
+        let (base, nodes) = self.tree_levels.first().copied().unwrap_or((0, 0));
+        TreePathIter {
+            base,
+            nodes,
+            idx: (leaf_addr - self.tree_leaf_base) >> LINE_SHIFT,
+            levels_left: self.tree_levels.len(),
         }
-        path
     }
 
     /// Classifies an address into its region.
+    ///
+    /// The non-tree regions resolve with three compares against
+    /// precomputed bases; a tree address resolves by scanning the flat
+    /// prefix table of level end addresses (≤ 10 entries for any modeled
+    /// memory, monotonically increasing, contiguous from `parity` end).
+    #[inline]
     pub fn classify(&self, addr: u64) -> Region {
         if addr < self.data_bytes {
             return Region::Data;
@@ -314,8 +371,10 @@ impl MetadataLayout {
         if addr < self.parity_base + self.parity_bytes {
             return Region::Parity;
         }
-        for (level, &(base, count)) in self.tree_levels.iter().enumerate() {
-            if addr >= base && addr < base + count * LINE {
+        // Tree levels are contiguous, so the first end address beyond
+        // `addr` names the level.
+        for (level, &end) in self.tree_level_ends.iter().enumerate() {
+            if addr < end {
                 return Region::Tree(level);
             }
         }
@@ -335,10 +394,53 @@ impl MetadataLayout {
         )
     }
 
+    #[inline]
     fn assert_data(&self, addr: u64) {
         assert!(addr < self.data_bytes, "address {addr:#x} outside data region");
     }
 }
+
+/// Non-allocating, fully owned iterator over a leaf's protecting
+/// tree-node addresses, level 0 first. Produced by
+/// [`MetadataLayout::tree_path_iter`]. It regenerates each level's base
+/// and node count with the same arithmetic `MetadataLayout::new` used to
+/// lay the levels out (contiguous, 8-ary `div_ceil` reduction), so it
+/// borrows nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct TreePathIter {
+    /// Base address of the current level.
+    base: u64,
+    /// Node count of the current level.
+    nodes: u64,
+    /// Node index within the *child* level (divided by 8 per step).
+    idx: u64,
+    /// Levels not yet yielded.
+    levels_left: usize,
+}
+
+impl Iterator for TreePathIter {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.levels_left == 0 {
+            return None;
+        }
+        self.levels_left -= 1;
+        self.idx >>= 3; // 8-ary tree
+        debug_assert!(self.idx < self.nodes, "tree node {} out of range", self.idx);
+        let addr = self.base + (self.idx << LINE_SHIFT);
+        self.base += self.nodes << LINE_SHIFT;
+        self.nodes = self.nodes.div_ceil(8);
+        Some(addr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.levels_left, Some(self.levels_left))
+    }
+}
+
+impl ExactSizeIterator for TreePathIter {}
 
 #[cfg(test)]
 mod tests {

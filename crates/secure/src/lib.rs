@@ -38,5 +38,7 @@ pub mod layout;
 
 pub use crypto_engine::{CryptoEngine, CryptoStats, CryptoWorkMode};
 pub use design::{ChipFailureResponse, DesignConfig, MacPlacement, ReliabilityScheme};
-pub use engine::{AccessSpec, DegradedStats, EngineStats, Expansion, SecureEngine};
+pub use engine::{
+    default_metadata_cache_config, AccessSpec, DegradedStats, EngineStats, Expansion, SecureEngine,
+};
 pub use layout::{CounterOrg, MetadataLayout, Region, TreeLeaves};

@@ -1,0 +1,95 @@
+//! Steady-state allocation audit for the per-access hot path.
+//!
+//! The simulator's issue path (`expand_read_into` / `expand_writeback_into`
+//! with a caller-owned [`Expansion`], flat caches, owned tree-path
+//! iterators) is designed to touch the heap only while warming up —
+//! inline expansion buffers, retained spill capacity, and cache arrays
+//! are all allocated once. This test installs a counting global allocator
+//! and asserts the warm path performs literally zero allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use synergy::cache::{CacheConfig, SetAssocCache};
+use synergy::secure::{DesignConfig, Expansion, SecureEngine};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Drives reads and writebacks the way `system::step_core` does: reusable
+/// `Expansion` buffers, a reusable dirty-metadata scratch `Vec`.
+fn drive(
+    engine: &mut SecureEngine,
+    llc: &mut SetAssocCache,
+    exp: &mut Expansion,
+    dirty: &mut Vec<u64>,
+    rounds: u64,
+) -> u64 {
+    let mut sink = 0u64;
+    for r in 0..rounds {
+        for i in 0..2048u64 {
+            // Mixed hot (reused) and sweeping (evicting) addresses.
+            let addr = if i % 4 == 0 { (r * 2048 + i) * 64 } else { (i % 512) * 64 };
+            engine.expand_read_into(addr, llc, exp);
+            sink += exp.accesses.len() as u64;
+            if i % 3 == 0 {
+                engine.expand_writeback_into(addr, llc, exp);
+                sink += exp.evicted_dirty_data.len() as u64;
+            }
+        }
+        dirty.clear();
+        engine.drain_dirty_metadata_into(dirty);
+        sink += dirty.len() as u64;
+    }
+    sink
+}
+
+#[test]
+fn warm_hot_path_performs_zero_allocations() {
+    // Single-design is enough: all designs share the expansion machinery.
+    let mut engine = SecureEngine::new(DesignConfig::synergy(), 1 << 30);
+    let mut llc = SetAssocCache::new(CacheConfig::new(1 << 20, 8, 64).unwrap());
+    let mut exp = Expansion::default();
+    let mut dirty = Vec::new();
+
+    // Warm-up: populate caches, spill inline buffers if they ever will,
+    // and grow the dirty-scratch vector to its steady-state capacity.
+    let warm = drive(&mut engine, &mut llc, &mut exp, &mut dirty, 4);
+    assert!(warm > 0);
+
+    // Steady state: the identical access recipe must not allocate.
+    let before = allocation_count();
+    let steady = drive(&mut engine, &mut llc, &mut exp, &mut dirty, 4);
+    let after = allocation_count();
+    assert!(steady > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "hot path allocated {} times in steady state",
+        after - before
+    );
+}

@@ -72,7 +72,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scope_joins_and_returns() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = super::thread::scope(|s| {
             let handles: Vec<_> = data
                 .iter()

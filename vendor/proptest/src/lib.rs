@@ -560,6 +560,9 @@ macro_rules! __proptest_items {
                     stringify!($name),
                 );
                 $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // The immediately-called closure is load-bearing: it turns
+                // `prop_assume` early-returns inside `$body` into `Err`.
+                #[allow(clippy::redundant_closure_call)]
                 let outcome: ::core::result::Result<(), $crate::test_runner::Rejected> =
                     (|| { $body ::core::result::Result::Ok(()) })();
                 if outcome.is_ok() {
